@@ -1,0 +1,125 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/workload/synthetic.h"
+#include "src/workload/tpcc.h"
+#include "src/workload/ycsb.h"
+
+namespace bamboo {
+namespace bench {
+
+namespace {
+double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::atof(v);
+}
+uint64_t EnvU64(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::strtoull(v, nullptr, 10);
+}
+bool EnvFlag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] == '1';
+}
+}  // namespace
+
+Options FromEnv() {
+  Options o;
+  o.duration = EnvDouble("BB_BENCH_DURATION", 0.4);
+  o.warmup = EnvDouble("BB_BENCH_WARMUP", 0.08);
+  o.full = EnvFlag("BB_BENCH_FULL");
+  o.ycsb_rows = EnvU64("BB_YCSB_ROWS", 100000);
+  o.tpcc_customers =
+      static_cast<int>(EnvU64("BB_TPCC_CUST", o.full ? 3000 : 300));
+  return o;
+}
+
+std::vector<int> Options::ThreadSweep() const {
+  if (full) return {1, 8, 16, 32, 64, 96, 120};  // the paper's x-axis
+  return {1, 2, 4, 8, 16};
+}
+
+Config Options::BaseConfig() const {
+  Config cfg;
+  cfg.duration_seconds = duration;
+  cfg.warmup_seconds = warmup;
+  cfg.ycsb_rows = ycsb_rows;
+  cfg.tpcc_customers_per_district = tpcc_customers;
+  return cfg;
+}
+
+std::vector<Protocol> StandardProtocols() {
+  return {Protocol::kBamboo, Protocol::kWoundWait, Protocol::kWaitDie,
+          Protocol::kNoWait, Protocol::kSilo};
+}
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+void TablePrinter::Print(const std::string& paper_note) const {
+  std::vector<size_t> width(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); c++) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); c++) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  if (!paper_note.empty()) std::printf("   paper: %s\n", paper_note.c_str());
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); c++) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+}
+
+std::string Fmt(double v, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << v;
+  return os.str();
+}
+
+std::string FmtThroughput(const RunResult& r) {
+  double tput = r.Throughput();
+  if (tput >= 1e6) return Fmt(tput / 1e6, 2) + "M";
+  if (tput >= 1e3) return Fmt(tput / 1e3, 1) + "k";
+  return Fmt(tput, 0);
+}
+
+std::string FmtBreakdown(const RunResult& r) {
+  std::ostringstream os;
+  os << "lock=" << Fmt(r.LockWaitMsPerTxn(), 3)
+     << " abort=" << Fmt(r.AbortMsPerTxn(), 3)
+     << " commit=" << Fmt(r.CommitWaitMsPerTxn(), 3);
+  return os.str();
+}
+
+RunResult RunSynthetic(const Config& cfg) {
+  SyntheticWorkload wl(cfg);
+  return LoadAndRun(cfg, &wl);
+}
+
+RunResult RunYcsb(const Config& cfg) {
+  YcsbWorkload wl(cfg);
+  return LoadAndRun(cfg, &wl);
+}
+
+RunResult RunTpcc(const Config& cfg) {
+  TpccWorkload wl(cfg);
+  return LoadAndRun(cfg, &wl);
+}
+
+}  // namespace bench
+}  // namespace bamboo

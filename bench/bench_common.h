@@ -1,0 +1,80 @@
+#ifndef BAMBOO_BENCH_BENCH_COMMON_H_
+#define BAMBOO_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/stats.h"
+#include "src/workload/bench_runner.h"
+
+namespace bamboo {
+namespace bench {
+
+/// Environment-tunable harness options shared by every figure bench.
+///
+///   BB_BENCH_DURATION   measured seconds per data point   (default 0.4)
+///   BB_BENCH_WARMUP     warmup seconds per data point     (default 0.08)
+///   BB_BENCH_FULL=1     paper-scale sweeps: thread counts up to 120,
+///                       100k-row TPC-C item table, 3000 customers/district
+///   BB_YCSB_ROWS        YCSB table size                   (default 100000)
+///   BB_TPCC_CUST        TPC-C customers per district      (default 300;
+///                       full mode: 3000)
+///
+/// Default sweeps are sized for a small multi-core box; the paper's axes
+/// are preserved (thread counts beyond the core count exercise identical
+/// code paths, only absolute numbers change -- see DESIGN.md).
+struct Options {
+  double duration = 0.4;
+  double warmup = 0.08;
+  bool full = false;
+  uint64_t ycsb_rows = 100000;
+  int tpcc_customers = 300;
+
+  /// Thread sweep for "vary thread count" figures.
+  std::vector<int> ThreadSweep() const;
+  /// Base Config with duration/warmup/scale applied.
+  Config BaseConfig() const;
+};
+
+/// Parse the BB_BENCH_* environment.
+Options FromEnv();
+
+/// Protocols compared in most figures (Section 5.1's five implementations).
+std::vector<Protocol> StandardProtocols();
+
+/// Fixed-width table printer for paper-style series output.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; `columns` is the header row.
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  /// Append one row (first cell is the x value).
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// Render to stdout. `paper_note` (optional) states what the paper
+  /// reports for this figure so shapes can be compared at a glance.
+  void Print(const std::string& paper_note = "") const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string Fmt(double v, int precision = 3);
+std::string FmtThroughput(const RunResult& r);  ///< txns/sec, 3 sig figs
+/// "lock=<ms> abort=<ms> commit=<ms>" amortized per committed txn.
+std::string FmtBreakdown(const RunResult& r);
+
+/// Throughput of one data point: builds the workload for `cfg`, runs it.
+/// Workload selection uses the same dispatch as the tests/examples.
+RunResult RunSynthetic(const Config& cfg);
+RunResult RunYcsb(const Config& cfg);
+RunResult RunTpcc(const Config& cfg);
+
+}  // namespace bench
+}  // namespace bamboo
+
+#endif  // BAMBOO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,64 @@
+// Figure 11: Bamboo vs IC3 on single-warehouse TPC-C (payment + new-order).
+// 11a/b: the original mix -- payment and new-order touch *different
+// columns* of WAREHOUSE/DISTRICT, so IC3's column-level static analysis
+// removes the conflict entirely and beats row-granularity protocols.
+// 11c/d: new-order additionally reads W_YTD (a column payment writes),
+// turning the false sharing into a true conflict: Bamboo is barely
+// affected while IC3 drops (up to 1.5x in Bamboo's favor).
+#include "bench/bench_common.h"
+
+namespace {
+
+void RunVariant(const bamboo::bench::Options& opt, bool reads_wytd,
+                const char* tag, const char* tput_note,
+                const char* brk_note) {
+  using namespace bamboo;
+  using namespace bamboo::bench;
+  const Protocol protos[] = {Protocol::kBamboo, Protocol::kIc3,
+                             Protocol::kWoundWait, Protocol::kSilo};
+  std::vector<std::string> cols{"threads"};
+  for (Protocol p : protos) cols.push_back(ProtocolName(p));
+  TablePrinter tput_tbl(
+      std::string("Figure 11: TPC-C 1 warehouse, throughput (txn/s), ") + tag,
+      cols);
+  TablePrinter brk_tbl(
+      std::string("Figure 11 runtime breakdown (ms/txn), ") + tag,
+      {"threads", "protocol", "lock_wait", "abort", "commit_wait",
+       "abort_rate"});
+  for (int threads : opt.ThreadSweep()) {
+    std::vector<std::string> row{std::to_string(threads)};
+    for (Protocol p : protos) {
+      Config cfg = opt.BaseConfig();
+      cfg.protocol = p;
+      cfg.num_threads = threads;
+      cfg.tpcc_warehouses = 1;
+      cfg.tpcc_neworder_reads_wytd = reads_wytd;
+      RunResult r = RunTpcc(cfg);
+      row.push_back(FmtThroughput(r));
+      brk_tbl.AddRow({std::to_string(threads), ProtocolName(p),
+                      Fmt(r.LockWaitMsPerTxn(), 4), Fmt(r.AbortMsPerTxn(), 4),
+                      Fmt(r.CommitWaitMsPerTxn(), 4), Fmt(r.AbortRate(), 3)});
+    }
+    tput_tbl.AddRow(row);
+  }
+  tput_tbl.Print(tput_note);
+  brk_tbl.Print(brk_note);
+}
+
+}  // namespace
+
+int main() {
+  using namespace bamboo;
+  using namespace bamboo::bench;
+  Options opt = FromEnv();
+  RunVariant(opt, false, "original new-order (11a/11b)",
+             "IC3 ahead: column-level analysis removes the W_TAX/W_YTD "
+             "false sharing that row-level protocols serialize on",
+             "IC3 waits little; BB/WW pay row-level warehouse contention");
+  RunVariant(opt, true, "modified new-order reads W_YTD (11c/11d)",
+             "true column conflict: BB barely affected, IC3 drops "
+             "(BB up to 1.5x IC3); IC3's extra aborts come from optimistic "
+             "piece execution",
+             "IC3 now spends time waiting on the warehouse column conflict");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 5: the mirror of Figure 4 -- the second hotspot is fixed at the
+// end of the 16-operation transaction and the first moves away from it
+// (x = distance between them; first hotspot position = 1 - x). Here the
+// benefit and the cascading-abort exposure grow together.
+#include "bench/bench_common.h"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bamboo::Protocol protocol;
+  bool opt2;
+};
+
+}  // namespace
+
+int main() {
+  using namespace bamboo;
+  using namespace bamboo::bench;
+  Options opt = FromEnv();
+
+  const Variant variants[] = {
+      {"BAMBOO-base", Protocol::kBamboo, false},
+      {"BAMBOO", Protocol::kBamboo, true},
+      {"WOUND_WAIT", Protocol::kWoundWait, true},
+  };
+
+  TablePrinter tput_tbl(
+      "Figure 5a: throughput (txn/s) vs 1st hotspot distance (2nd fixed at "
+      "end)",
+      {"distance", "BAMBOO-base", "BAMBOO", "WOUND_WAIT"});
+  TablePrinter brk_tbl(
+      "Figure 5b: runtime breakdown (ms per committed txn)",
+      {"distance", "series", "lock_wait", "abort", "commit_wait",
+       "abort_rate", "avg_cascade"});
+
+  for (double dist : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    std::vector<std::string> row{Fmt(dist, 2)};
+    for (const Variant& v : variants) {
+      Config cfg = opt.BaseConfig();
+      cfg.protocol = v.protocol;
+      cfg.bb_opt_no_retire_tail = v.opt2;
+      cfg.num_threads = opt.full ? 32 : 8;
+      cfg.synth_ops_per_txn = 16;
+      cfg.synth_num_hotspots = 2;
+      cfg.synth_hotspot_pos[0] = 1.0 - dist;
+      cfg.synth_hotspot_pos[1] = 1.0;
+      RunResult r = RunSynthetic(cfg);
+      row.push_back(FmtThroughput(r));
+      brk_tbl.AddRow({Fmt(dist, 2), v.name, Fmt(r.LockWaitMsPerTxn(), 4),
+                      Fmt(r.AbortMsPerTxn(), 4),
+                      Fmt(r.CommitWaitMsPerTxn(), 4), Fmt(r.AbortRate(), 3),
+                      Fmt(r.AvgCascadeChain(), 2)});
+    }
+    tput_tbl.AddRow(row);
+  }
+  tput_tbl.Print("BB's abort time never exceeds WW's wait time; "
+                 "BAMBOO-base suffers at x=0 where the theoretical gain is "
+                 "only 1/16 (opt2 mitigates)");
+  brk_tbl.Print("benefit and cascade exposure rise together as the first "
+                "hotspot moves earlier");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 6: YCSB under high contention (Zipfian theta = 0.9, 50% reads),
+// varying the number of worker threads, all five protocols. 6a =
+// throughput, 6b = runtime breakdown. The paper reports Bamboo up to 1.77x
+// Wound-Wait (peak at mid thread counts), all 2PL protocols degrading past
+// 32 threads from lock thrashing, and Silo overtaking beyond ~96 threads.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bamboo;
+  using namespace bamboo::bench;
+  Options opt = FromEnv();
+
+  std::vector<std::string> cols{"threads"};
+  for (Protocol p : StandardProtocols()) cols.push_back(ProtocolName(p));
+  TablePrinter tput_tbl(
+      "Figure 6a: YCSB throughput (txn/s) vs threads (theta=0.9, rr=0.5)",
+      cols);
+  TablePrinter brk_tbl("Figure 6b: runtime breakdown (ms per committed txn)",
+                       {"threads", "protocol", "lock_wait", "abort",
+                        "commit_wait", "abort_rate"});
+
+  for (int threads : opt.ThreadSweep()) {
+    std::vector<std::string> row{std::to_string(threads)};
+    for (Protocol p : StandardProtocols()) {
+      Config cfg = opt.BaseConfig();
+      cfg.protocol = p;
+      cfg.num_threads = threads;
+      cfg.ycsb_zipf_theta = 0.9;
+      cfg.ycsb_read_ratio = 0.5;
+      RunResult r = RunYcsb(cfg);
+      row.push_back(FmtThroughput(r));
+      brk_tbl.AddRow({std::to_string(threads), ProtocolName(p),
+                      Fmt(r.LockWaitMsPerTxn(), 4), Fmt(r.AbortMsPerTxn(), 4),
+                      Fmt(r.CommitWaitMsPerTxn(), 4), Fmt(r.AbortRate(), 3)});
+    }
+    tput_tbl.AddRow(row);
+  }
+  tput_tbl.Print("BB up to 1.77x WW (peak at 64 threads in the paper); 2PL "
+                 "family degrades past 32 threads; SILO wins beyond ~96");
+  brk_tbl.Print("BB cuts lock_wait without adding many aborts");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 8: YCSB throughput vs Zipfian skew (theta), 16 threads, rr=0.5,
+// stored-procedure mode plus the interactive-mode comparison discussed in
+// the text. The paper reports Bamboo ahead of all 2PL protocols for
+// theta > 0.7 (up to +72% over WW), ~10% below WW at low contention
+// (bookkeeping overhead), and up to 2x WW in interactive mode where
+// network time hides the overhead and Silo's abort advantage disappears.
+#include "bench/bench_common.h"
+
+namespace {
+
+void RunMode(const bamboo::bench::Options& opt, bamboo::ExecMode mode,
+             const char* tag, const char* note) {
+  using namespace bamboo;
+  using namespace bamboo::bench;
+  std::vector<std::string> cols{"theta"};
+  for (Protocol p : StandardProtocols()) cols.push_back(ProtocolName(p));
+  TablePrinter tput_tbl(std::string("Figure 8a: YCSB throughput (txn/s) vs "
+                                    "zipfian, 16 threads, ") +
+                            tag,
+                        cols);
+  TablePrinter brk_tbl(
+      std::string("Figure 8b: runtime breakdown (ms/txn), ") + tag,
+      {"theta", "protocol", "lock_wait", "abort", "commit_wait",
+       "abort_rate"});
+  for (double theta : {0.5, 0.7, 0.8, 0.9, 0.99}) {
+    std::vector<std::string> row{Fmt(theta, 2)};
+    for (Protocol p : StandardProtocols()) {
+      Config cfg = opt.BaseConfig();
+      cfg.protocol = p;
+      cfg.mode = mode;
+      cfg.num_threads = 16;
+      cfg.ycsb_zipf_theta = theta;
+      cfg.ycsb_read_ratio = 0.5;
+      RunResult r = RunYcsb(cfg);
+      row.push_back(FmtThroughput(r));
+      brk_tbl.AddRow({Fmt(theta, 2), ProtocolName(p),
+                      Fmt(r.LockWaitMsPerTxn(), 4), Fmt(r.AbortMsPerTxn(), 4),
+                      Fmt(r.CommitWaitMsPerTxn(), 4), Fmt(r.AbortRate(), 3)});
+    }
+    tput_tbl.AddRow(row);
+  }
+  tput_tbl.Print(note);
+  brk_tbl.Print("");
+}
+
+}  // namespace
+
+int main() {
+  using namespace bamboo;
+  using namespace bamboo::bench;
+  Options opt = FromEnv();
+  RunMode(opt, ExecMode::kStoredProcedure, "stored-procedure",
+          "BB beats all 2PL for theta>0.7 (up to +72% over WW); ~10% below "
+          "WW at low theta; SILO strong in stored-proc mode");
+  Options iopt = opt;
+  iopt.duration = opt.duration * 2;  // interactive throughput is RTT-bound
+  RunMode(iopt, ExecMode::kInteractive, "interactive (50us RTT)",
+          "overheads hidden by network: BB ~WW+8% for theta<=0.8, up to 2x "
+          "at 0.99; SILO's advantage disappears (aborts now costly)");
+  return 0;
+}

@@ -14,11 +14,21 @@ namespace bench {
 namespace {
 double EnvDouble(const char* name, double def) {
   const char* v = std::getenv(name);
-  return v == nullptr ? def : std::atof(v);
+  if (v == nullptr) return def;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  // Unparsable or negative input keeps the default; an explicit 0 is a
+  // legitimate value (e.g. BB_BENCH_WARMUP=0 disables warmup).
+  return (end == v || parsed < 0) ? def : parsed;
 }
 uint64_t EnvU64(const char* name, uint64_t def) {
   const char* v = std::getenv(name);
-  return v == nullptr ? def : std::strtoull(v, nullptr, 10);
+  if (v == nullptr) return def;
+  char* end = nullptr;
+  uint64_t parsed = std::strtoull(v, &end, 10);
+  // Unparsable, negative (strtoull wraps it), or zero input keeps the
+  // default: every BB_* count knob needs a positive value.
+  return (end == v || v[0] == '-' || parsed == 0) ? def : parsed;
 }
 bool EnvFlag(const char* name) {
   const char* v = std::getenv(name);
@@ -29,6 +39,7 @@ bool EnvFlag(const char* name) {
 Options FromEnv() {
   Options o;
   o.duration = EnvDouble("BB_BENCH_DURATION", 0.4);
+  if (o.duration <= 0) o.duration = 0.4;  // a 0s window measures nothing
   o.warmup = EnvDouble("BB_BENCH_WARMUP", 0.08);
   o.full = EnvFlag("BB_BENCH_FULL");
   o.ycsb_rows = EnvU64("BB_YCSB_ROWS", 100000);

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 verify (ROADMAP.md): configure, build, run the test suite.
+# Usage: scripts/run_tier1.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$(nproc)"

@@ -1,0 +1,23 @@
+#include "src/common/config.h"
+
+namespace bamboo {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kBamboo:
+      return "BAMBOO";
+    case Protocol::kWoundWait:
+      return "WOUND_WAIT";
+    case Protocol::kWaitDie:
+      return "WAIT_DIE";
+    case Protocol::kNoWait:
+      return "NO_WAIT";
+    case Protocol::kSilo:
+      return "SILO";
+    case Protocol::kIc3:
+      return "IC3";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace bamboo

@@ -1,0 +1,94 @@
+#ifndef BAMBOO_SRC_COMMON_CONFIG_H_
+#define BAMBOO_SRC_COMMON_CONFIG_H_
+
+#include <cstdint>
+
+namespace bamboo {
+
+/// Concurrency-control protocols (Section 5.1's implementations plus IC3
+/// for the Figure 11 comparison).
+enum class Protocol {
+  kBamboo,     ///< this paper: 2PL with early lock release (retire lists)
+  kWoundWait,  ///< strict 2PL, wound-wait deadlock prevention
+  kWaitDie,    ///< strict 2PL, wait-die deadlock prevention
+  kNoWait,     ///< strict 2PL, abort on any conflict
+  kSilo,       ///< OCC with epoch-less TID validation
+  kIc3,        ///< column-group 2PL standing in for IC3's static analysis
+};
+
+const char* ProtocolName(Protocol p);
+
+/// Execution mode: stored procedures run back-to-back; interactive mode
+/// inserts a simulated client round trip (RTT) before every statement, so
+/// locks are held across network delays (Section 5's second setting).
+enum class ExecMode {
+  kStoredProcedure,
+  kInteractive,
+};
+
+/// Return codes threaded through transaction execution.
+enum class RC {
+  kOk,         ///< operation succeeded / transaction committed
+  kAbort,      ///< protocol abort (wound, die, validation failure, cascade)
+  kUserAbort,  ///< logic abort requested by the transaction itself
+  kPending,    ///< commit handed off (detached); outcome arrives via
+               ///< TxnCB::detach_state (runner-managed workers only)
+};
+
+/// One struct drives every layer: the lock manager reads the protocol and
+/// the four Bamboo ablation switches, the workloads read their scale knobs,
+/// and the bench runner reads thread count and durations.
+struct Config {
+  Protocol protocol = Protocol::kBamboo;
+  ExecMode mode = ExecMode::kStoredProcedure;
+  int num_threads = 1;
+  double duration_seconds = 0.4;
+  double warmup_seconds = 0.08;
+  /// Simulated client<->server round trip per statement in interactive mode.
+  double interactive_rtt_us = 50.0;
+  /// Placeholder for the future WAL subsystem; no logging is performed yet.
+  bool log_enabled = false;
+
+  // --- Bamboo ablation switches (Section 3.5). All default to the paper's
+  // full configuration; bench_opt_ablation toggles them individually.
+  /// Opt 1: shared locks retire inside LockAcquire (no second latch round).
+  bool bb_opt_read_retire = true;
+  /// Opt 2: writes in the last `bb_delta` fraction of a transaction are not
+  /// retired (the tail gains little and the bookkeeping is pure overhead).
+  bool bb_opt_no_retire_tail = true;
+  /// Opt 3: a reader older than every uncommitted retired writer is served
+  /// the newest *committed* version instead of wounding the writers.
+  bool bb_opt_raw_read = true;
+  /// Opt 4: timestamps are assigned on first conflict instead of at begin,
+  /// so conflict-free transactions are never ordered (fewer wounds).
+  bool dynamic_ts = true;
+  /// Tail fraction for Opt 2; the paper settles on 0.15 for all workloads.
+  double bb_delta = 0.15;
+
+  // --- Synthetic hotspot workload (Sections 3/5.2).
+  uint64_t synth_rows = 10000;   ///< cold uniformly-read table
+  int synth_ops_per_txn = 16;
+  int synth_num_hotspots = 1;    ///< 0..2 read-modify-write hotspots
+  double synth_hotspot_pos[2] = {0.0, 1.0};  ///< position in [0,1] within txn
+
+  // --- YCSB.
+  uint64_t ycsb_rows = 100000;
+  int ycsb_ops_per_txn = 16;
+  double ycsb_zipf_theta = 0.9;
+  double ycsb_read_ratio = 0.5;
+  double ycsb_long_txn_frac = 0.0;  ///< fraction of long read-only scans
+  int ycsb_long_txn_ops = 1000;
+
+  // --- TPC-C (scaled down; payment + new-order mix, 1% user aborts).
+  int tpcc_warehouses = 1;
+  int tpcc_districts_per_warehouse = 10;
+  int tpcc_customers_per_district = 300;
+  int tpcc_items = 10000;
+  /// Figure 11c/d: new-order additionally reads W_YTD, turning the
+  /// payment/new-order column disjointness into a true conflict.
+  bool tpcc_neworder_reads_wytd = false;
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_COMMON_CONFIG_H_

@@ -1,0 +1,28 @@
+#ifndef BAMBOO_SRC_COMMON_PLATFORM_H_
+#define BAMBOO_SRC_COMMON_PLATFORM_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace bamboo {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simulated client round trip for interactive mode. Sleeps instead of
+/// spinning so that, exactly as with a real network, the CPU is free for
+/// other workers while locks stay held across the delay.
+inline void SimulateRtt(double rtt_us) {
+  if (rtt_us <= 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::nanoseconds(static_cast<int64_t>(rtt_us * 1000.0)));
+}
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_COMMON_PLATFORM_H_

@@ -1,0 +1,80 @@
+#ifndef BAMBOO_SRC_COMMON_RNG_H_
+#define BAMBOO_SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace bamboo {
+
+/// xorshift64* generator: deterministic per seed, fast enough to sit inside
+/// the per-operation workload loop.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    state_ = seed ? seed : 0x9e3779b97f4a7c15ull;
+  }
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t Uniform(uint64_t n) { return n ? Next() % n : 0; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Standard YCSB Zipfian generator (Gray et al.); zeta sums are precomputed
+/// once per (n, theta) by the owning workload and shared across threads.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator() = default;
+
+  void Init(uint64_t n, double theta) {
+    n_ = n;
+    theta_ = theta;
+    zeta_n_ = Zeta(n, theta);
+    zeta_2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta_2_ / zeta_n_);
+  }
+
+  /// Key in [0, n); key 0 is the most popular.
+  uint64_t Next(Rng* rng) const {
+    if (theta_ <= 0.0) return rng->Uniform(n_);
+    double u = rng->NextDouble();
+    double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    uint64_t k = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return k >= n_ ? n_ - 1 : k;
+  }
+
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+
+ private:
+  uint64_t n_ = 1;
+  double theta_ = 0;
+  double zeta_n_ = 1, zeta_2_ = 1, alpha_ = 1, eta_ = 1;
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_COMMON_RNG_H_

@@ -1,0 +1,85 @@
+#ifndef BAMBOO_SRC_COMMON_STATS_H_
+#define BAMBOO_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+
+namespace bamboo {
+
+/// Per-worker counters. Written by exactly one thread during a run (no
+/// atomics on the hot path), aggregated into a RunResult afterwards.
+struct ThreadStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;        ///< protocol aborts (wound/die/no-wait/validation)
+  uint64_t user_aborts = 0;   ///< logic aborts (e.g. TPC-C invalid item)
+  uint64_t dirty_reads = 0;   ///< reads served from an uncommitted version
+  uint64_t cascade_events = 0;   ///< root aborts that wounded >=1 dependent
+  uint64_t cascade_victims = 0;  ///< transactions aborted via a dependency
+
+  uint64_t lock_wait_ns = 0;    ///< time parked in waiter queues
+  uint64_t abort_ns = 0;        ///< work thrown away in aborted attempts
+  uint64_t commit_wait_ns = 0;  ///< time draining the commit semaphore
+
+  void Add(const ThreadStats& o) {
+    commits += o.commits;
+    aborts += o.aborts;
+    user_aborts += o.user_aborts;
+    dirty_reads += o.dirty_reads;
+    cascade_events += o.cascade_events;
+    cascade_victims += o.cascade_victims;
+    lock_wait_ns += o.lock_wait_ns;
+    abort_ns += o.abort_ns;
+    commit_wait_ns += o.commit_wait_ns;
+  }
+
+  void Reset() { *this = ThreadStats(); }
+};
+
+/// Aggregate view over all workers, kept by the bench runner.
+struct Stats {
+  ThreadStats total;
+
+  void Merge(const ThreadStats& t) { total.Add(t); }
+  void Reset() { total.Reset(); }
+};
+
+/// One measured data point: aggregated counters plus the wall-clock window
+/// they were collected in. All derived metrics are per *committed* txn, the
+/// paper's Figure 4b/6b breakdown convention.
+struct RunResult {
+  ThreadStats total;
+  double elapsed_seconds = 0;
+
+  double Throughput() const {
+    return elapsed_seconds > 0 ? static_cast<double>(total.commits) /
+                                     elapsed_seconds
+                               : 0.0;
+  }
+  /// Aborted attempts per executed attempt (commits + aborts).
+  double AbortRate() const {
+    uint64_t attempts = total.commits + total.aborts;
+    return attempts > 0
+               ? static_cast<double>(total.aborts) / static_cast<double>(attempts)
+               : 0.0;
+  }
+  double LockWaitMsPerTxn() const { return PerCommitMs(total.lock_wait_ns); }
+  double AbortMsPerTxn() const { return PerCommitMs(total.abort_ns); }
+  double CommitWaitMsPerTxn() const { return PerCommitMs(total.commit_wait_ns); }
+  /// Average number of transitively wounded victims per root cascade.
+  double AvgCascadeChain() const {
+    return total.cascade_events > 0
+               ? static_cast<double>(total.cascade_victims) /
+                     static_cast<double>(total.cascade_events)
+               : 0.0;
+  }
+
+ private:
+  double PerCommitMs(uint64_t ns) const {
+    return total.commits > 0 ? static_cast<double>(ns) / 1e6 /
+                                   static_cast<double>(total.commits)
+                             : 0.0;
+  }
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_COMMON_STATS_H_

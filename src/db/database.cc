@@ -1,0 +1,30 @@
+#include "src/db/database.h"
+
+namespace bamboo {
+
+Table* Catalog::CreateTable(const std::string& name, const Schema& schema) {
+  tables_.push_back(std::make_unique<Table>(name, schema));
+  return tables_.back().get();
+}
+
+HashIndex* Catalog::CreateIndex(const std::string& name, uint64_t capacity) {
+  indexes_.push_back(std::make_unique<HashIndex>(capacity));
+  index_names_.push_back(name);
+  return indexes_.back().get();
+}
+
+Table* Catalog::GetTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+HashIndex* Catalog::GetIndex(const std::string& name) const {
+  for (size_t i = 0; i < indexes_.size(); i++) {
+    if (index_names_[i] == name) return indexes_[i].get();
+  }
+  return nullptr;
+}
+
+}  // namespace bamboo

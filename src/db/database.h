@@ -1,0 +1,82 @@
+#ifndef BAMBOO_SRC_DB_DATABASE_H_
+#define BAMBOO_SRC_DB_DATABASE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/db/lock_table.h"
+#include "src/db/txn.h"
+#include "src/storage/table.h"
+
+namespace bamboo {
+
+/// Owns tables and indexes; names are looked up at load time only.
+class Catalog {
+ public:
+  Table* CreateTable(const std::string& name, const Schema& schema);
+  HashIndex* CreateIndex(const std::string& name, uint64_t capacity);
+  Table* GetTable(const std::string& name) const;
+  HashIndex* GetIndex(const std::string& name) const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<std::unique_ptr<HashIndex>> indexes_;
+  std::vector<std::string> index_names_;
+};
+
+/// Concurrency-control front end: timestamp authority + the lock manager.
+class CCManager {
+ public:
+  explicit CCManager(const Config& cfg) : cfg_(cfg), locks_(cfg, &ts_counter_) {}
+
+  /// Start (an attempt of) a transaction. With static timestamping (or any
+  /// non-Bamboo locking protocol) a fresh timestamp is assigned here;
+  /// retries keep their old one so the oldest transaction cannot starve.
+  void Begin(TxnCB* txn) {
+    bool needs_ts = !(cfg_.protocol == Protocol::kBamboo && cfg_.dynamic_ts) &&
+                    cfg_.protocol != Protocol::kSilo &&
+                    cfg_.protocol != Protocol::kNoWait;
+    if (needs_ts && txn->ts.load(std::memory_order_relaxed) == 0) {
+      txn->ts.store(ts_counter_.fetch_add(1, std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+    }
+  }
+
+  LockManager* locks() { return &locks_; }
+
+ private:
+  const Config& cfg_;
+  std::atomic<uint64_t> ts_counter_{0};
+  LockManager locks_;
+};
+
+/// Facade tying config, catalog and concurrency control together. One
+/// Database per bench data point; worker threads share it.
+class Database {
+ public:
+  explicit Database(const Config& cfg) : cfg_(cfg), cc_(cfg_) {}
+
+  Catalog* catalog() { return &catalog_; }
+  CCManager* cc() { return &cc_; }
+  const Config& config() const { return cfg_; }
+
+  /// Create one row in `table` and register it in `index` under `key`.
+  /// Returns the row so loaders can fill in the initial image.
+  Row* LoadRow(Table* table, HashIndex* index, uint64_t key) {
+    Row* row = table->CreateRow();
+    index->Put(key, row);
+    return row;
+  }
+
+ private:
+  Config cfg_;
+  Catalog catalog_;
+  CCManager cc_;
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_DB_DATABASE_H_

@@ -1,0 +1,554 @@
+#include "src/db/lock_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/db/txn.h"
+#include "src/storage/row.h"
+
+namespace bamboo {
+
+namespace {
+
+/// Erase the request belonging to (txn, seq) from `list`; returns the
+/// removed request (or an empty one if absent).
+LockReq TakeReq(std::vector<LockReq>* list, const TxnCB* txn, uint64_t seq,
+                bool* found) {
+  for (auto it = list->begin(); it != list->end(); ++it) {
+    if (it->txn == txn && it->seq == seq) {
+      LockReq r = std::move(*it);
+      list->erase(it);
+      *found = true;
+      return r;
+    }
+  }
+  *found = false;
+  return LockReq();
+}
+
+void DropDependentRecords(LockEntry* e, const TxnCB* txn) {
+  auto scrub = [txn](std::vector<LockReq>* list) {
+    for (auto& r : *list) {
+      auto& d = r.dependents;
+      d.erase(std::remove_if(
+                  d.begin(), d.end(),
+                  [txn](const std::pair<TxnCB*, uint64_t>& p) {
+                    return p.first == txn;
+                  }),
+              d.end());
+    }
+  };
+  scrub(&e->owners);
+  scrub(&e->retired);
+}
+
+// Detached-commit completions claimed while a latch was held; processed by
+// the outermost public entry point once no latch is held (completions
+// release other rows, which may claim further completions -> iterate).
+thread_local std::vector<TxnCB*> t_pending_completions;
+thread_local bool t_draining = false;
+
+}  // namespace
+
+bool LockManager::WoundAndClaim(TxnCB* victim, bool cascade) {
+  if (!victim->Wound(cascade)) return false;
+  if (victim->detached.exchange(false, std::memory_order_acq_rel)) {
+    t_pending_completions.push_back(victim);
+  }
+  return true;
+}
+
+void LockManager::DrainCompletions() {
+  if (t_draining) return;
+  t_draining = true;
+  while (!t_pending_completions.empty()) {
+    TxnCB* t = t_pending_completions.back();
+    t_pending_completions.pop_back();
+    t->detach_complete(t);
+  }
+  t_draining = false;
+}
+
+void LockManager::EnsureTs(TxnCB* txn) {
+  uint64_t expected = 0;
+  if (txn->ts.load(std::memory_order_relaxed) == 0) {
+    uint64_t fresh = ts_counter_->fetch_add(1, std::memory_order_relaxed) + 1;
+    txn->ts.compare_exchange_strong(expected, fresh,
+                                    std::memory_order_acq_rel);
+  }
+}
+
+bool LockManager::OlderThan(const TxnCB* a, const TxnCB* b) {
+  uint64_t ta = a->ts.load(std::memory_order_relaxed);
+  uint64_t tb = b->ts.load(std::memory_order_relaxed);
+  if (ta == 0) return false;  // unassigned = youngest
+  if (tb == 0) return true;
+  return ta < tb;
+}
+
+bool LockManager::HolderCommitted(const LockReq& r) {
+  return r.txn->status.load(std::memory_order_acquire) ==
+         TxnStatus::kCommitted;
+}
+
+AccessGrant LockManager::Acquire(Row* row, TxnCB* txn, LockType type,
+                                 char* read_buf) {
+  AccessGrant grant =
+      AcquireLocked(row, txn, type, read_buf, nullptr, nullptr, false);
+  DrainCompletions();
+  return grant;
+}
+
+AccessGrant LockManager::AcquireRmw(Row* row, TxnCB* txn, RmwFn fn, void* arg,
+                                    bool retire_now) {
+  AccessGrant grant =
+      AcquireLocked(row, txn, LockType::kEX, nullptr, fn, arg, retire_now);
+  DrainCompletions();
+  return grant;
+}
+
+AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
+                                       char* read_buf, RmwFn rmw_fn,
+                                       void* rmw_arg, bool rmw_retire) {
+  LockEntry* e = row->Lock();
+  std::lock_guard<std::mutex> g(e->latch);
+  const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
+
+  // Gather conflicts. Self re-acquisition never reaches the lock manager
+  // (TxnHandle deduplicates accesses). Thread-local scratch keeps the
+  // allocator out of the latch-held critical section; AcquireLocked is
+  // never re-entered on a thread (completions only run Release).
+  thread_local std::vector<LockReq*> c_owners;
+  thread_local std::vector<LockReq*> c_retired;
+  c_owners.clear();
+  c_retired.clear();
+  for (auto& o : e->owners) {
+    if (o.txn != txn && Conflicts(o.type, type)) c_owners.push_back(&o);
+  }
+  for (auto& r : e->retired) {
+    if (r.txn != txn && Conflicts(r.type, type)) c_retired.push_back(&r);
+  }
+  bool older_conflicting_waiter = false;
+
+  // Assign timestamps on first conflict (holders first, so the established
+  // transaction ends up older; with dynamic_ts off Begin() already did it).
+  if (!c_owners.empty() || !c_retired.empty()) {
+    for (LockReq* o : c_owners) EnsureTs(o->txn);
+    for (LockReq* r : c_retired) EnsureTs(r->txn);
+    EnsureTs(txn);
+  }
+  for (auto& w : e->waiters) {
+    if (w.txn != txn && Conflicts(w.type, type) && OlderThan(w.txn, txn)) {
+      older_conflicting_waiter = true;
+      // A real conflict exists on this tuple: order ourselves.
+      EnsureTs(txn);
+      break;
+    }
+  }
+
+  switch (cfg_.protocol) {
+    case Protocol::kNoWait:
+      if (!c_owners.empty()) {
+        AccessGrant a;
+        a.rc = AcqResult::kAbort;
+        return a;
+      }
+      break;
+
+    case Protocol::kWaitDie: {
+      bool die = older_conflicting_waiter;
+      for (LockReq* o : c_owners) {
+        if (!OlderThan(txn, o->txn)) die = true;  // younger requester dies
+      }
+      if (die) {
+        AccessGrant a;
+        a.rc = AcqResult::kAbort;
+        return a;
+      }
+      if (!c_owners.empty()) {
+        LockReq req;
+        req.txn = txn;
+        req.seq = seq;
+        req.type = type;
+        req.rmw_fn = rmw_fn;
+        req.rmw_arg = rmw_arg;
+        req.rmw_retire = rmw_retire;
+        txn->lock_granted.store(0, std::memory_order_relaxed);
+        InsertWaiter(e, std::move(req));
+        AccessGrant a;
+        a.rc = AcqResult::kWait;
+        return a;
+      }
+      break;
+    }
+
+    case Protocol::kWoundWait:
+    case Protocol::kIc3:
+      // Wound every younger conflicting owner, then wait for the queue to
+      // clear (wounded owners roll back asynchronously in their threads).
+      for (LockReq* o : c_owners) {
+        if (OlderThan(txn, o->txn)) WoundAndClaim(o->txn, /*cascade=*/false);
+      }
+      if (!c_owners.empty() || older_conflicting_waiter) {
+        LockReq req;
+        req.txn = txn;
+        req.seq = seq;
+        req.type = type;
+        req.rmw_fn = rmw_fn;
+        req.rmw_arg = rmw_arg;
+        req.rmw_retire = rmw_retire;
+        txn->lock_granted.store(0, std::memory_order_relaxed);
+        InsertWaiter(e, std::move(req));
+        AccessGrant a;
+        a.rc = AcqResult::kWait;
+        return a;
+      }
+      break;
+
+    case Protocol::kBamboo: {
+      // Opt 3: a reader older than every uncommitted retired writer is
+      // serialized *before* them: serve the newest committed image with no
+      // lock footprint instead of wounding the writers.
+      if (type == LockType::kSH && cfg_.bb_opt_raw_read && c_owners.empty() &&
+          !c_retired.empty()) {
+        bool all_uncommitted_younger = true;
+        bool any_uncommitted = false;
+        for (LockReq* r : c_retired) {
+          if (HolderCommitted(*r)) continue;
+          any_uncommitted = true;
+          if (!OlderThan(txn, r->txn)) {
+            all_uncommitted_younger = false;
+            break;
+          }
+        }
+        if (any_uncommitted && all_uncommitted_younger) {
+          const char* src = row->base();
+          for (const Version& v : row->chain()) {
+            if (v.writer->status.load(std::memory_order_acquire) ==
+                TxnStatus::kCommitted) {
+              src = v.data.get();
+            } else {
+              break;  // first uncommitted version; stop below it
+            }
+          }
+          std::memcpy(read_buf, src, row->size());
+          AccessGrant a;
+          a.rc = AcqResult::kGranted;
+          a.took_lock = false;
+          return a;
+        }
+      }
+
+      // Wound-wait over owners *and* retired keeps all dependency edges
+      // pointing younger -> older, which makes both the waits-for graph and
+      // the commit-order graph acyclic.
+      for (LockReq* o : c_owners) {
+        if (OlderThan(txn, o->txn)) WoundAndClaim(o->txn, /*cascade=*/false);
+      }
+      bool younger_retired_present = false;
+      for (LockReq* r : c_retired) {
+        if (HolderCommitted(*r)) continue;
+        if (OlderThan(txn, r->txn)) {
+          WoundAndClaim(r->txn, /*cascade=*/false);
+          younger_retired_present = true;  // stays until it rolls back
+        }
+      }
+      if (!c_owners.empty() || younger_retired_present ||
+          older_conflicting_waiter) {
+        LockReq req;
+        req.txn = txn;
+        req.seq = seq;
+        req.type = type;
+        req.rmw_fn = rmw_fn;
+        req.rmw_arg = rmw_arg;
+        req.rmw_retire = rmw_retire;
+        txn->lock_granted.store(0, std::memory_order_relaxed);
+        InsertWaiter(e, std::move(req));
+        AccessGrant a;
+        a.rc = AcqResult::kWait;
+        return a;
+      }
+      break;
+    }
+
+    case Protocol::kSilo:
+      break;  // Silo never reaches the lock manager
+  }
+
+  // Immediate grant. Fresh Bamboo reads go straight into the retired list
+  // (Opt 1) without the owners round trip; everything else becomes an
+  // owner first.
+  LockReq req;
+  req.txn = txn;
+  req.seq = seq;
+  req.type = type;
+  AccessGrant grant;
+  grant.rc = AcqResult::kGranted;
+  grant.dirty = RegisterBarrier(e, txn, type, seq);
+  if (type == LockType::kEX) {
+    grant.write_data = row->PushVersion(txn, seq);
+    if (rmw_fn != nullptr) {
+      // Fused RMW: apply and (for Bamboo, outside the Opt-2 tail) retire
+      // in the same latch hold -- the row is never seen in a half-written
+      // owner state, so no waiter convoy can seed behind a preempted
+      // writer.
+      rmw_fn(grant.write_data, rmw_arg);
+      if (rmw_retire) {
+        e->retired.push_back(std::move(req));
+        grant.retired = true;
+      } else {
+        e->owners.push_back(std::move(req));
+      }
+    } else {
+      e->owners.push_back(std::move(req));
+    }
+  } else {
+    std::memcpy(read_buf, row->NewestData(), row->size());
+    if (grant.dirty && txn->stats != nullptr) txn->stats->dirty_reads++;
+    if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_read_retire) {
+      e->retired.push_back(std::move(req));
+      grant.retired = true;
+    } else {
+      e->owners.push_back(std::move(req));
+    }
+  }
+  if (cfg_.protocol == Protocol::kWaitDie) WaitDieRepair(e);
+  return grant;
+}
+
+/// Register the commit dependency for a grant: the *latest* conflicting
+/// retired entry is the barrier; it cannot commit before everything it
+/// depends on, so one edge per tuple suffices. Returns whether the grant
+/// consumes an uncommitted (dirty) state.
+bool LockManager::RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type,
+                                  uint64_t seq) {
+  for (auto it = e->retired.rbegin(); it != e->retired.rend(); ++it) {
+    if (it->txn != txn && Conflicts(it->type, type)) {
+      it->dependents.emplace_back(txn, seq);
+      txn->commit_semaphore.fetch_add(1, std::memory_order_acq_rel);
+      txn->deps_taken++;
+      return !HolderCommitted(*it);
+    }
+  }
+  return false;
+}
+
+AccessGrant LockManager::CompleteAcquire(Row* row, TxnCB* txn, LockType type,
+                                         char* read_buf) {
+  LockEntry* e = row->Lock();
+  std::lock_guard<std::mutex> g(e->latch);
+  if (txn->IsAborted()) {
+    AccessGrant a;
+    a.rc = AcqResult::kAbort;
+    return a;
+  }
+  return FinalizeGrant(e, row, txn, type, read_buf);
+}
+
+AccessGrant LockManager::CompleteAcquireRmw(Row* row, TxnCB* txn) {
+  LockEntry* e = row->Lock();
+  std::lock_guard<std::mutex> g(e->latch);
+  AccessGrant a;
+  if (txn->IsAborted()) {
+    a.rc = AcqResult::kAbort;
+    return a;
+  }
+  const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
+  a.rc = AcqResult::kGranted;
+  a.write_data = row->FindVersion(txn, seq);
+  for (const auto& r : e->retired) {
+    if (r.txn == txn && r.seq == seq) {
+      a.retired = true;
+      break;
+    }
+  }
+  return a;
+}
+
+AccessGrant LockManager::FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn,
+                                       LockType type, char* read_buf) {
+  const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
+  AccessGrant grant;
+  grant.rc = AcqResult::kGranted;
+  grant.dirty = RegisterBarrier(e, txn, type, seq);
+
+  if (type == LockType::kEX) {
+    grant.write_data = row->PushVersion(txn, seq);
+  } else {
+    // Copy under the latch: the version could be popped by a committing
+    // writer the instant the latch drops.
+    std::memcpy(read_buf, row->NewestData(), row->size());
+    if (grant.dirty && txn->stats != nullptr) txn->stats->dirty_reads++;
+    if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_read_retire) {
+      // Opt 1: the read is complete, retire inside the same latch hold.
+      bool found = false;
+      LockReq own = TakeReq(&e->owners, txn, seq, &found);
+      if (found) {
+        e->retired.push_back(std::move(own));
+        grant.retired = true;
+        PromoteWaiters(e, row);
+      }
+    }
+  }
+  return grant;
+}
+
+void LockManager::Retire(Row* row, TxnCB* txn) {
+  LockEntry* e = row->Lock();
+  std::lock_guard<std::mutex> g(e->latch);
+  bool found = false;
+  LockReq own =
+      TakeReq(&e->owners, txn, txn->txn_seq.load(std::memory_order_relaxed),
+              &found);
+  if (!found) return;  // already aborted/released concurrently
+  e->retired.push_back(std::move(own));
+  PromoteWaiters(e, row);
+}
+
+int LockManager::Release(Row* row, TxnCB* txn, bool committed) {
+  int wounded = ReleaseLocked(row, txn, committed);
+  DrainCompletions();
+  return wounded;
+}
+
+int LockManager::ReleaseLocked(Row* row, TxnCB* txn, bool committed) {
+  LockEntry* e = row->Lock();
+  std::lock_guard<std::mutex> g(e->latch);
+  const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
+
+  int wounded = 0;
+  bool found = false;
+  LockReq req;
+  if (cfg_.protocol == Protocol::kBamboo) {
+    // Most Bamboo footprint lives in the retired list; search it first.
+    req = TakeReq(&e->retired, txn, seq, &found);
+    if (!found) req = TakeReq(&e->owners, txn, seq, &found);
+  } else {
+    req = TakeReq(&e->owners, txn, seq, &found);
+    if (!found) req = TakeReq(&e->retired, txn, seq, &found);
+  }
+  if (found) {
+    if (req.type == LockType::kEX) {
+      if (committed) {
+        row->CommitVersion(txn, seq);
+      } else {
+        row->AbortVersion(txn, seq);
+      }
+    }
+    for (auto& [dep, dep_seq] : req.dependents) {
+      if (dep->txn_seq.load(std::memory_order_acquire) != dep_seq) continue;
+      if (committed) {
+        if (dep->commit_semaphore.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+          // Last barrier gone: if the dependent's worker already handed
+          // its commit off, claim and finish it (commit pipelining).
+          if (dep->detached.exchange(false, std::memory_order_acq_rel)) {
+            t_pending_completions.push_back(dep);
+          }
+          dep->Notify();
+        }
+      } else {
+        // Cascading abort: everything that consumed our dirty state dies.
+        if (WoundAndClaim(dep, /*cascade=*/true)) wounded++;
+      }
+    }
+  } else {
+    bool was_waiting = false;
+    TakeReq(&e->waiters, txn, seq, &was_waiting);
+  }
+
+  // Drop any dependency records still pointing at us so a later attempt of
+  // this TxnCB can never be confused with this one. Only needed when this
+  // attempt registered a dependency somewhere.
+  if (txn->deps_taken > 0) DropDependentRecords(e, txn);
+  PromoteWaiters(e, row);
+  return wounded;
+}
+
+bool LockManager::WaiterEligible(LockEntry* e, const LockReq& w) const {
+  for (const auto& o : e->owners) {
+    if (o.txn != w.txn && Conflicts(o.type, w.type)) return false;
+  }
+  for (const auto& r : e->retired) {
+    if (r.txn == w.txn || !Conflicts(r.type, w.type)) continue;
+    // May only queue *behind* older (or already committed) retired
+    // entries; a younger uncommitted one is a doomed wound target that
+    // must drain first.
+    if (!HolderCommitted(r) && !OlderThan(r.txn, w.txn)) return false;
+  }
+  return true;
+}
+
+void LockManager::PromoteWaiters(LockEntry* e, Row* row) {
+  for (size_t i = 0; i < e->waiters.size();) {
+    LockReq& w = e->waiters[i];
+    if (w.txn->IsAborted()) {
+      i++;  // its own rollback will remove it; do not block others on it
+      continue;
+    }
+    if (!WaiterEligible(e, w)) break;  // strict wake-up order
+    LockReq granted = std::move(w);
+    e->waiters.erase(e->waiters.begin() + static_cast<long>(i));
+    TxnCB* t = granted.txn;
+    if (granted.rmw_fn != nullptr) {
+      // Apply the fused RMW on the sleeping waiter's behalf. Retired RMWs
+      // keep draining the queue: the next (younger) writer may queue right
+      // behind this freshly retired one, so a whole chain of hotspot
+      // updates completes in this single latch hold.
+      RegisterBarrier(e, t, LockType::kEX, granted.seq);
+      char* data = row->PushVersion(t, granted.seq);
+      granted.rmw_fn(data, granted.rmw_arg);
+      if (granted.rmw_retire) {
+        e->retired.push_back(std::move(granted));
+      } else {
+        e->owners.push_back(std::move(granted));
+      }
+      t->lock_granted.store(2, std::memory_order_release);
+    } else {
+      e->owners.push_back(std::move(granted));
+      t->lock_granted.store(1, std::memory_order_release);
+    }
+    t->Notify();
+  }
+
+  if (cfg_.protocol == Protocol::kWaitDie) WaitDieRepair(e);
+}
+
+/// Wait-die invariant repair: enqueueing only ever makes an older txn wait
+/// for younger owners, but granting (promotion or the waiter-bypass in
+/// Acquire) can install an *older* owner in front of a younger waiter --
+/// an edge wait-die forbids (it is how deadlock cycles close). Such
+/// waiters must die now, not wait.
+void LockManager::WaitDieRepair(LockEntry* e) {
+  for (auto& w : e->waiters) {
+    if (w.txn->IsAborted()) continue;
+    for (const auto& o : e->owners) {
+      if (o.txn != w.txn && Conflicts(o.type, w.type) &&
+          OlderThan(o.txn, w.txn)) {
+        WoundAndClaim(w.txn, /*cascade=*/false);
+        break;
+      }
+    }
+  }
+}
+
+void LockManager::InsertWaiter(LockEntry* e, LockReq req) {
+  auto it = e->waiters.begin();
+  while (it != e->waiters.end() && !OlderThan(req.txn, it->txn)) ++it;
+  e->waiters.insert(it, std::move(req));
+}
+
+size_t LockManager::OwnerCount(Row* row) {
+  std::lock_guard<std::mutex> g(row->Lock()->latch);
+  return row->Lock()->owners.size();
+}
+size_t LockManager::RetiredCount(Row* row) {
+  std::lock_guard<std::mutex> g(row->Lock()->latch);
+  return row->Lock()->retired.size();
+}
+size_t LockManager::WaiterCount(Row* row) {
+  std::lock_guard<std::mutex> g(row->Lock()->latch);
+  return row->Lock()->waiters.size();
+}
+
+}  // namespace bamboo

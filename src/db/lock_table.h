@@ -1,0 +1,159 @@
+#ifndef BAMBOO_SRC_DB_LOCK_TABLE_H_
+#define BAMBOO_SRC_DB_LOCK_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/common/config.h"
+
+namespace bamboo {
+
+struct TxnCB;
+class Row;
+
+enum class LockType : uint8_t { kSH, kEX };
+
+inline bool Conflicts(LockType a, LockType b) {
+  return a == LockType::kEX || b == LockType::kEX;
+}
+
+/// Applies a read-modify-write to a row image in place. Runs under the
+/// entry latch, so it must stay tiny (counter bumps, balance updates).
+using RmwFn = void (*)(char* data, void* arg);
+
+/// One queued or granted request. Requests live inside the per-tuple lists
+/// and are identified by (txn, seq) so references never dangle across the
+/// owning thread's retries.
+struct LockReq {
+  TxnCB* txn = nullptr;
+  uint64_t seq = 0;
+  LockType type = LockType::kSH;
+  /// Fused RMW waiting to be applied (see LockManager::AcquireRmw). The
+  /// promoter applies it on the sleeping waiter's behalf, so a whole queue
+  /// of hotspot updates drains in a single latch hold.
+  RmwFn rmw_fn = nullptr;
+  void* rmw_arg = nullptr;
+  bool rmw_retire = false;
+  /// Transactions whose commit semaphore counts this (retired) request as
+  /// their barrier; drained on commit, wounded on abort.
+  std::vector<std::pair<TxnCB*, uint64_t>> dependents;
+};
+
+/// Per-tuple lock state: the paper's three queues.
+///
+///   owners  - granted, still in their "growing" phase on this tuple
+///   retired - released early (Bamboo); order = dependency = commit order
+///   waiters - blocked requests, oldest timestamp first
+struct LockEntry {
+  std::mutex latch;
+  std::vector<LockReq> owners;
+  std::vector<LockReq> retired;
+  std::vector<LockReq> waiters;
+};
+
+enum class AcqResult {
+  kGranted,  ///< lock held (or Opt-3 snapshot read served; see took_lock)
+  kWait,     ///< enqueued; park on txn->signal until granted or wounded
+  kAbort,    ///< caller must abort (no-wait / wait-die decision)
+};
+
+/// Outcome of an acquire/complete round.
+struct AccessGrant {
+  AcqResult rc = AcqResult::kAbort;
+  bool took_lock = true;   ///< false for Opt-3 snapshot reads
+  bool retired = false;    ///< SH retired inside the acquire (Opt 1)
+  bool dirty = false;      ///< served from an uncommitted version
+  char* write_data = nullptr;  ///< EX: private version image (stable)
+};
+
+/// The lock manager implements Bamboo plus the 2PL baselines over the
+/// per-tuple queues. All list manipulation happens under the entry latch;
+/// blocking is delegated to the caller (kWait + TxnCB::WaitFor) so the
+/// manager itself never sleeps.
+class LockManager {
+ public:
+  LockManager(const Config& cfg, std::atomic<uint64_t>* ts_counter)
+      : cfg_(cfg), ts_counter_(ts_counter) {}
+
+  /// Request `type` on `row`. For SH grants the current image (or the
+  /// Opt-3 committed image) is copied into `read_buf` under the latch, so
+  /// the caller never touches a version a concurrent commit might pop.
+  AccessGrant Acquire(Row* row, TxnCB* txn, LockType type, char* read_buf);
+
+  /// Fused exclusive read-modify-write: conflict handling as for an EX
+  /// Acquire, but on grant the new version is created, `fn` applied, and
+  /// (with `retire_now`, Bamboo) the write retired -- all in one latch
+  /// hold, so the row is never exposed in a half-written owner state. A
+  /// kWait result parks the caller; the releasing thread that promotes the
+  /// request applies the RMW on its behalf (lock_granted = 2).
+  AccessGrant AcquireRmw(Row* row, TxnCB* txn, RmwFn fn, void* arg,
+                         bool retire_now);
+
+  /// Finish an acquire that returned kWait after the wait ended. Verifies
+  /// the grant, prepares the version / copies the image like Acquire.
+  AccessGrant CompleteAcquire(Row* row, TxnCB* txn, LockType type,
+                              char* read_buf);
+
+  /// Finish a parked AcquireRmw: the promoter already created the version
+  /// and applied the function (lock_granted == 2); report the final state.
+  AccessGrant CompleteAcquireRmw(Row* row, TxnCB* txn);
+
+  /// Move txn's granted request from owners to the retired list (early
+  /// release of the write lock; the heart of the protocol).
+  void Retire(Row* row, TxnCB* txn);
+
+  /// Drop txn's request wherever it sits. On commit: install the version,
+  /// drain dependents' semaphores. On abort: discard the version, wound
+  /// dependents (cascading abort). Always promotes eligible waiters.
+  /// Returns the number of dependents wounded (cascade fan-out).
+  int Release(Row* row, TxnCB* txn, bool committed);
+
+  /// Test/inspection helpers (latched).
+  size_t OwnerCount(Row* row);
+  size_t RetiredCount(Row* row);
+  size_t WaiterCount(Row* row);
+
+ private:
+  /// Latched bodies of the public entry points; the public wrappers run
+  /// any claimed detached-commit completions after the latch drops.
+  AccessGrant AcquireLocked(Row* row, TxnCB* txn, LockType type,
+                            char* read_buf, RmwFn rmw_fn, void* rmw_arg,
+                            bool rmw_retire);
+  int ReleaseLocked(Row* row, TxnCB* txn, bool committed);
+
+  /// Wound `victim`; if the victim's owner already handed its commit off,
+  /// claim the completion so its rollback happens promptly (queued, run
+  /// outside the latch). Returns whether this call performed the wound.
+  static bool WoundAndClaim(TxnCB* victim, bool cascade);
+  /// Run queued detached completions (claimed wounds / drained
+  /// semaphores). Re-entrant calls accumulate; the outermost drains.
+  static void DrainCompletions();
+  /// Timestamp handling: 0 means unassigned (dynamic, Opt 4). Assigned
+  /// lazily at first conflict, holder before requester so the established
+  /// transaction becomes the older one.
+  void EnsureTs(TxnCB* txn);
+  /// True when a (ts-wise) precedes b: assigned beats unassigned, then
+  /// smaller timestamp wins.
+  static bool OlderThan(const TxnCB* a, const TxnCB* b);
+
+  static bool HolderCommitted(const LockReq& r);
+
+  /// Grant helpers; all run under the entry latch.
+  bool RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type, uint64_t seq);
+  AccessGrant FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn, LockType type,
+                            char* read_buf);
+  void PromoteWaiters(LockEntry* e, Row* row);
+  void WaitDieRepair(LockEntry* e);
+  bool WaiterEligible(LockEntry* e, const LockReq& w) const;
+  void InsertWaiter(LockEntry* e, LockReq req);
+
+  const Config& cfg_;
+  std::atomic<uint64_t>* ts_counter_;
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_DB_LOCK_TABLE_H_

@@ -1,0 +1,154 @@
+#ifndef BAMBOO_SRC_DB_TXN_H_
+#define BAMBOO_SRC_DB_TXN_H_
+
+#include <atomic>
+#include <cstdint>
+
+#ifdef BAMBOO_DEBUG_STUCK
+#include <cstdio>
+#endif
+
+#include "src/common/config.h"
+#include "src/common/platform.h"
+#include "src/common/stats.h"
+
+namespace bamboo {
+
+enum class TxnStatus : uint32_t {
+  kRunning,
+  kCommitting,  ///< draining the commit semaphore; still woundable
+  kCommitted,   ///< point of no return; releases follow
+  kAborted,     ///< wounded / died / cascaded; rollback follows
+};
+
+/// Transaction control block. One per worker thread, reused across attempts;
+/// `txn_seq` disambiguates attempts so that stale cross-transaction
+/// references (dependents, wound targets) can be detected and ignored.
+///
+/// Lifecycle per attempt:
+///   txn_seq++; ResetForAttempt(is_retry); cc->Begin(txn);
+///   ...operations via TxnHandle...; handle->Commit(rc);
+struct alignas(64) TxnCB {
+  // --- identity
+  /// Attempt counter, bumped by the caller before each attempt. Atomic
+  /// because stale dependency records are validated against it from other
+  /// threads (they compare the recorded seq before acting).
+  std::atomic<uint64_t> txn_seq{0};
+  /// Wound-wait priority; smaller = older = higher priority; 0 = unassigned
+  /// (dynamic timestamping, Opt 4). Retries keep their timestamp so the
+  /// oldest transaction eventually wins (no starvation).
+  std::atomic<uint64_t> ts{0};
+
+  // --- cross-thread state
+  std::atomic<TxnStatus> status{TxnStatus::kRunning};
+  /// Number of uncommitted transactions this one depends on (dirty reads,
+  /// write-after-write on dirty versions, commit ordering after retired
+  /// readers). Commit waits until it drains to zero.
+  std::atomic<int64_t> commit_semaphore{0};
+  /// Eventcount: bumped + notified on any state change a waiter could be
+  /// parked on (lock grant, wound, semaphore drain). Waiters futex-sleep on
+  /// it, which matters when threads outnumber cores.
+  std::atomic<uint32_t> signal{0};
+  /// Set when the abort was caused by a dependency cascade rather than a
+  /// direct conflict; drives the cascade statistics.
+  std::atomic<bool> abort_was_cascade{false};
+  /// Set by a releasing thread when this transaction's waiting request was
+  /// promoted into the owners list (wait handshake).
+  std::atomic<uint32_t> lock_granted{0};
+
+  // --- detached (pipelined) commit handshake.
+  // A worker whose transaction finished its work but still has a nonzero
+  // commit semaphore can hand the commit off instead of blocking: whoever
+  // drains the semaphore to zero (or wounds the transaction) claims the
+  // flag and completes the release on the owner's behalf, so dependency
+  // chains drain without context switches.
+  std::atomic<bool> detached{false};   ///< claim token (exchange to claim)
+  void* detach_ctx = nullptr;          ///< the owning TxnHandle
+  void (*detach_complete)(TxnCB*) = nullptr;
+  /// 0 = not detached, 1 = in flight, 2 = done-committed, 3 = done-aborted.
+  std::atomic<uint32_t> detach_state{0};
+  /// Optional eventcount of the owning worker, bumped+notified when a
+  /// detached outcome is published so a slot-starved worker wakes up.
+  std::atomic<uint32_t>* owner_wake = nullptr;
+
+  // --- per-attempt bookkeeping (single-threaded)
+  int planned_ops = 0;  ///< declared txn length; enables the Opt 2 tail rule
+  int ops_done = 0;
+  /// Number of commit dependencies taken this attempt; lets release skip
+  /// the dependent-record scrub on the (common) dependency-free path.
+  int deps_taken = 0;
+  ThreadStats* stats = nullptr;
+
+  void ResetForAttempt(bool keep_ts) {
+    if (!keep_ts) ts.store(0, std::memory_order_relaxed);
+    status.store(TxnStatus::kRunning, std::memory_order_relaxed);
+    commit_semaphore.store(0, std::memory_order_relaxed);
+    abort_was_cascade.store(false, std::memory_order_relaxed);
+    lock_granted.store(0, std::memory_order_relaxed);
+    detached.store(false, std::memory_order_relaxed);
+    detach_state.store(0, std::memory_order_relaxed);
+    planned_ops = 0;
+    ops_done = 0;
+    deps_taken = 0;
+  }
+
+  bool IsAborted() const {
+    return status.load(std::memory_order_acquire) == TxnStatus::kAborted;
+  }
+
+  /// Try to abort this transaction from another thread. Fails once the
+  /// target has committed. Returns true if this call performed the wound.
+  bool Wound(bool cascade) {
+    TxnStatus s = status.load(std::memory_order_acquire);
+    while (s == TxnStatus::kRunning || s == TxnStatus::kCommitting) {
+      if (status.compare_exchange_weak(s, TxnStatus::kAborted,
+                                       std::memory_order_acq_rel)) {
+        if (cascade) abort_was_cascade.store(true, std::memory_order_relaxed);
+        Notify();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Notify() {
+    signal.fetch_add(1, std::memory_order_release);
+    signal.notify_all();
+  }
+
+  /// Park until `pred()` holds. The caller re-checks under no lock, so the
+  /// predicate must read only atomics. Returns the ns spent parked.
+  template <typename Pred>
+  uint64_t WaitFor(Pred pred);
+};
+
+template <typename Pred>
+uint64_t TxnCB::WaitFor(Pred pred) {
+  uint64_t start = NowNs();
+  for (;;) {
+    uint32_t s = signal.load(std::memory_order_acquire);
+    if (pred()) break;
+#ifdef BAMBOO_DEBUG_STUCK
+    (void)s;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (NowNs() - start > 5000000000ull) {
+      std::fprintf(stderr,
+                   "STUCK txn=%p seq=%llu ts=%llu status=%u lock_granted=%u "
+                   "sem=%lld\n",
+                   (void*)this,
+                   (unsigned long long)txn_seq.load(),
+                   (unsigned long long)ts.load(),
+                   (unsigned)status.load(), (unsigned)lock_granted.load(),
+                   (long long)commit_semaphore.load());
+      start = NowNs();
+    }
+#else
+    signal.wait(s, std::memory_order_acquire);
+#endif
+  }
+  return NowNs() - start;
+}
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_DB_TXN_H_

@@ -1,0 +1,479 @@
+#include "src/db/txn_handle.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "src/common/platform.h"
+
+namespace bamboo {
+
+TxnHandle::TxnHandle(Database* db, TxnCB* txn)
+    : db_(db), txn_(txn), cfg_(db->config()), lm_(db->cc()->locks()) {}
+
+void TxnHandle::MaybeReset() {
+  uint64_t seq = txn_->txn_seq.load(std::memory_order_relaxed);
+  if (seq == seen_seq_) return;
+  seen_seq_ = seq;
+  accesses_.clear();
+  seen_rows_.clear();
+  use_row_set_ = false;
+  silo_reads_.clear();
+  silo_writes_.clear();
+  chunk_idx_ = 0;
+  chunk_off_ = 0;
+}
+
+TxnHandle::Access* TxnHandle::FindAccess(Row* row) {
+  if (!use_row_set_ && accesses_.size() >= 32) {
+    seen_rows_.clear();
+    for (const Access& a : accesses_) seen_rows_.insert(a.row);
+    use_row_set_ = true;
+  }
+  if (use_row_set_ && seen_rows_.count(row) == 0) return nullptr;
+  for (Access& a : accesses_) {
+    if (a.row == row) return &a;
+  }
+  return nullptr;
+}
+
+void TxnHandle::NoteAccess(Row* row) {
+  if (use_row_set_) seen_rows_.insert(row);
+}
+
+char* TxnHandle::ArenaAlloc(uint32_t size) {
+  if (chunks_.empty()) chunks_.emplace_back(new char[kChunkSize]);
+  if (chunk_off_ + size > kChunkSize) {
+    chunk_idx_++;
+    chunk_off_ = 0;
+    if (chunk_idx_ >= chunks_.size()) chunks_.emplace_back(new char[kChunkSize]);
+  }
+  char* p = chunks_[chunk_idx_].get() + chunk_off_;
+  chunk_off_ += size;
+  return p;
+}
+
+RC TxnHandle::FailAttempt() {
+  txn_->status.store(TxnStatus::kAborted, std::memory_order_release);
+  return RC::kAbort;
+}
+
+uint64_t TxnHandle::WaitForLock(Row* row) {
+  (void)row;
+#ifdef BAMBOO_DEBUG_STUCK
+  uint64_t start = NowNs();
+  for (;;) {
+    if (txn_->lock_granted.load(std::memory_order_acquire) != 0 ||
+        txn_->IsAborted()) {
+      return NowNs() - start;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (NowNs() - start > 5000000000ull) {
+      LockEntry* e = row->Lock();
+      std::lock_guard<std::mutex> g(e->latch);
+      std::fprintf(stderr, "STUCK-LOCK txn=%p ts=%llu row=%p\n", (void*)txn_,
+                   (unsigned long long)txn_->ts.load(), (void*)row);
+      auto dump = [](const char* tag, const std::vector<LockReq>& list) {
+        for (const auto& r : list) {
+          std::fprintf(stderr, "  %s txn=%p seq=%llu ts=%llu type=%s st=%u\n",
+                       tag, (void*)r.txn, (unsigned long long)r.seq,
+                       (unsigned long long)r.txn->ts.load(),
+                       r.type == LockType::kEX ? "EX" : "SH",
+                       (unsigned)r.txn->status.load());
+        }
+      };
+      dump("own", e->owners);
+      dump("ret", e->retired);
+      dump("wtr", e->waiters);
+      start = NowNs();
+    }
+  }
+#else
+  return txn_->WaitFor([this] {
+    return txn_->lock_granted.load(std::memory_order_acquire) != 0 ||
+           txn_->IsAborted();
+  });
+#endif
+}
+
+RC TxnHandle::Read(HashIndex* index, uint64_t key, const char** data) {
+  MaybeReset();
+  if (txn_->IsAborted()) return RC::kAbort;
+  if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
+  Row* row = index->Get(key);
+  if (row == nullptr) return FailAttempt();
+
+  if (const Access* a = FindAccess(row)) {
+    *data = a->data;  // repeatable read / read-own-write
+    return RC::kOk;
+  }
+  txn_->ops_done++;
+
+  if (cfg_.protocol == Protocol::kSilo) return SiloRead_(row, data);
+
+  char* buf = ArenaAlloc(row->size());
+  AccessGrant g = lm_->Acquire(row, txn_, LockType::kSH, buf);
+  if (g.rc == AcqResult::kWait) {
+    accesses_.push_back({row, LockType::kSH, AccState::kWaiting, buf});
+    NoteAccess(row);
+    uint64_t waited = WaitForLock(row);
+    if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
+    g = lm_->CompleteAcquire(row, txn_, LockType::kSH, buf);
+    if (g.rc != AcqResult::kGranted) return FailAttempt();
+    accesses_.back().state = g.retired ? AccState::kRetired : AccState::kOwner;
+    accesses_.back().data = buf;
+    *data = buf;
+    return RC::kOk;
+  }
+  if (g.rc != AcqResult::kGranted) return FailAttempt();
+  AccState st = !g.took_lock ? AccState::kSnapshot
+                             : (g.retired ? AccState::kRetired : AccState::kOwner);
+  accesses_.push_back({row, LockType::kSH, st, buf});
+  NoteAccess(row);
+  *data = buf;
+  return RC::kOk;
+}
+
+RC TxnHandle::Update(HashIndex* index, uint64_t key, char** data) {
+  MaybeReset();
+  if (txn_->IsAborted()) return RC::kAbort;
+  if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
+  Row* row = index->Get(key);
+  if (row == nullptr) return FailAttempt();
+
+  if (Access* a = FindAccess(row)) {
+    if (cfg_.protocol == Protocol::kSilo) {
+      SiloPromoteToWrite(row, a);
+      *data = a->data;  // Silo buffers are txn-local: just write the copy
+      return RC::kOk;
+    }
+    if (a->type == LockType::kEX && a->state == AccState::kOwner) {
+      *data = a->data;  // write-own-write
+      return RC::kOk;
+    }
+    // SH -> EX upgrades (and writes into already-retired versions) are
+    // not supported; the bundled workloads never need them.
+    return FailAttempt();
+  }
+  txn_->ops_done++;
+
+  if (cfg_.protocol == Protocol::kSilo) return SiloUpdate_(row, data);
+
+  AccessGrant g = lm_->Acquire(row, txn_, LockType::kEX, nullptr);
+  if (g.rc == AcqResult::kWait) {
+    accesses_.push_back({row, LockType::kEX, AccState::kWaiting, nullptr});
+    NoteAccess(row);
+    uint64_t waited = WaitForLock(row);
+    if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
+    g = lm_->CompleteAcquire(row, txn_, LockType::kEX, nullptr);
+    if (g.rc != AcqResult::kGranted) return FailAttempt();
+    accesses_.back().state = AccState::kOwner;
+    accesses_.back().data = g.write_data;
+    *data = g.write_data;
+    return RC::kOk;
+  }
+  if (g.rc != AcqResult::kGranted) return FailAttempt();
+  accesses_.push_back({row, LockType::kEX, AccState::kOwner, g.write_data});
+  NoteAccess(row);
+  *data = g.write_data;
+  return RC::kOk;
+}
+
+RC TxnHandle::UpdateRmw(HashIndex* index, uint64_t key, RmwFn fn, void* arg) {
+  MaybeReset();
+  if (txn_->IsAborted()) return RC::kAbort;
+  if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
+  Row* row = index->Get(key);
+  if (row == nullptr) return FailAttempt();
+
+  if (Access* a = FindAccess(row)) {
+    if (cfg_.protocol == Protocol::kSilo) {
+      SiloPromoteToWrite(row, a);
+      fn(a->data, arg);
+      return RC::kOk;
+    }
+    if (a->type == LockType::kEX && a->state == AccState::kOwner) {
+      fn(a->data, arg);  // RMW-own-write
+      return RC::kOk;
+    }
+    return FailAttempt();  // retired already, or only SH held
+  }
+  txn_->ops_done++;
+
+  if (cfg_.protocol == Protocol::kSilo) {
+    char* buf = nullptr;
+    RC rc = SiloUpdate_(row, &buf);
+    if (rc == RC::kOk) fn(buf, arg);
+    return rc;
+  }
+
+  bool retire_now = cfg_.protocol == Protocol::kBamboo && !TailWrite();
+  AccessGrant g = lm_->AcquireRmw(row, txn_, fn, arg, retire_now);
+  if (g.rc == AcqResult::kWait) {
+    accesses_.push_back({row, LockType::kEX, AccState::kWaiting, nullptr});
+    NoteAccess(row);
+    uint64_t waited = WaitForLock(row);
+    if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
+    g = lm_->CompleteAcquireRmw(row, txn_);
+    if (g.rc != AcqResult::kGranted) return FailAttempt();
+    accesses_.back().state = g.retired ? AccState::kRetired : AccState::kOwner;
+    accesses_.back().data = g.write_data;
+    return RC::kOk;
+  }
+  if (g.rc != AcqResult::kGranted) return FailAttempt();
+  accesses_.push_back({row, LockType::kEX,
+                       g.retired ? AccState::kRetired : AccState::kOwner,
+                       g.write_data});
+  NoteAccess(row);
+  return RC::kOk;
+}
+
+bool TxnHandle::TailWrite() const {
+  if (!cfg_.bb_opt_no_retire_tail) return false;  // Opt 2 off: always retire
+  if (txn_->planned_ops <= 0) return false;
+  double threshold =
+      static_cast<double>(txn_->planned_ops) * (1.0 - cfg_.bb_delta);
+  return static_cast<double>(txn_->ops_done) > threshold;
+}
+
+void TxnHandle::WriteDone() {
+  if (cfg_.protocol != Protocol::kBamboo) return;  // strict 2PL: hold to end
+  if (txn_->IsAborted()) return;
+  for (auto it = accesses_.rbegin(); it != accesses_.rend(); ++it) {
+    if (it->type == LockType::kEX && it->state == AccState::kOwner) {
+      if (!TailWrite()) {
+        lm_->Retire(it->row, txn_);
+        it->state = AccState::kRetired;
+      }
+      return;
+    }
+  }
+}
+
+void TxnHandle::Rollback() {
+  txn_->status.store(TxnStatus::kAborted, std::memory_order_release);
+  int wounded = 0;
+  for (const Access& a : accesses_) {
+    if (a.state == AccState::kSnapshot) continue;
+    wounded += lm_->Release(a.row, txn_, /*committed=*/false);
+  }
+  accesses_.clear();
+  if (txn_->stats != nullptr) {
+    if (txn_->abort_was_cascade.load(std::memory_order_relaxed)) {
+      txn_->stats->cascade_victims++;
+    } else if (wounded > 0) {
+      txn_->stats->cascade_events++;
+    }
+  }
+}
+
+RC TxnHandle::Commit(RC user_rc) {
+  MaybeReset();
+  if (cfg_.protocol == Protocol::kSilo) return SiloCommit_(user_rc);
+
+  if (user_rc == RC::kUserAbort && !txn_->IsAborted()) {
+    Rollback();
+    return RC::kUserAbort;
+  }
+  if (user_rc != RC::kOk || txn_->IsAborted()) {
+    Rollback();
+    return RC::kAbort;
+  }
+  if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
+
+  TxnStatus expected = TxnStatus::kRunning;
+  if (!txn_->status.compare_exchange_strong(expected, TxnStatus::kCommitting,
+                                            std::memory_order_acq_rel)) {
+    Rollback();
+    return RC::kAbort;
+  }
+  // Every transaction we consumed dirty state from must commit first.
+  auto drained = [this] {
+    return txn_->commit_semaphore.load(std::memory_order_acquire) <= 0 ||
+           txn_->IsAborted();
+  };
+  if (!drained() && detach_allowed_) {
+    // Commit pipelining: hand the commit off instead of blocking. Whoever
+    // drains our semaphore (or wounds us) completes the release; the
+    // worker immediately starts the next transaction.
+    txn_->detach_ctx = this;
+    txn_->detach_complete = &TxnHandle::CompleteDetachedThunk;
+    txn_->detach_state.store(1, std::memory_order_relaxed);
+    txn_->detached.store(true, std::memory_order_release);
+    // Re-check: the last barrier may have drained (or a wound landed)
+    // before the flag was visible; claim back and finish inline then.
+    if (drained()) {
+      if (txn_->detached.exchange(false, std::memory_order_acq_rel)) {
+        txn_->detach_state.store(0, std::memory_order_relaxed);
+        if (txn_->IsAborted()) {
+          Rollback();
+          return RC::kAbort;
+        }
+        // fall through to the inline commit below
+      } else {
+        return RC::kPending;  // a completer claimed it already
+      }
+    } else {
+      return RC::kPending;
+    }
+  } else if (!drained()) {
+    // Blocking mode (raw handles, or the runner's slot cap): yield first,
+    // commit waits are short; futex-sleep as the fallback.
+    uint64_t t0 = NowNs();
+    for (int i = 0; i < 4096 && !drained(); i++) std::this_thread::yield();
+    if (!drained()) txn_->WaitFor(drained);
+    if (txn_->stats != nullptr) txn_->stats->commit_wait_ns += NowNs() - t0;
+  }
+
+  expected = TxnStatus::kCommitting;
+  if (!txn_->status.compare_exchange_strong(expected, TxnStatus::kCommitted,
+                                            std::memory_order_acq_rel)) {
+    Rollback();
+    return RC::kAbort;
+  }
+  for (const Access& a : accesses_) {
+    if (a.state == AccState::kSnapshot) continue;
+    lm_->Release(a.row, txn_, /*committed=*/true);
+  }
+  accesses_.clear();
+  return RC::kOk;
+}
+
+void TxnHandle::CompleteDetachedThunk(TxnCB* txn) {
+  static_cast<TxnHandle*>(txn->detach_ctx)->CompleteDetached();
+}
+
+void TxnHandle::CompleteDetached() {
+  TxnStatus expected = TxnStatus::kCommitting;
+  bool committed = txn_->status.compare_exchange_strong(
+      expected, TxnStatus::kCommitted, std::memory_order_acq_rel);
+  if (!committed) {
+    // Wounded while detached: finish the rollback on its behalf.
+    txn_->status.store(TxnStatus::kAborted, std::memory_order_release);
+  }
+  int wounded = 0;
+  for (const Access& a : accesses_) {
+    if (a.state == AccState::kSnapshot) continue;
+    wounded += lm_->Release(a.row, txn_, committed);
+  }
+  accesses_.clear();
+  // Publish the outcome last; the origin worker reclaims the slot and does
+  // the stats accounting (this may be a foreign thread, so it must not
+  // touch the origin's ThreadStats). State 4 = abort that wounded
+  // dependents, so the reclaimer can count the cascade root event.
+  std::atomic<uint32_t>* wake = txn_->owner_wake;
+  uint32_t outcome = committed ? 2u : (wounded > 0 ? 4u : 3u);
+  txn_->detach_state.store(outcome, std::memory_order_release);
+  if (wake != nullptr) {
+    wake->fetch_add(1, std::memory_order_release);
+    wake->notify_all();
+  }
+}
+
+// --- Silo (OCC) -----------------------------------------------------------
+
+char* TxnHandle::SiloStableCopy(Row* row, uint64_t* tid_out) {
+  char* buf = ArenaAlloc(row->size());
+  for (;;) {
+    uint64_t t1 = row->silo_tid.load(std::memory_order_acquire);
+    if (t1 & Row::kSiloLockBit) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::memcpy(buf, row->base(), row->size());
+    std::atomic_thread_fence(std::memory_order_acquire);
+    uint64_t t2 = row->silo_tid.load(std::memory_order_acquire);
+    if (t1 == t2) {
+      *tid_out = t1;
+      return buf;
+    }
+  }
+}
+
+void TxnHandle::SiloPromoteToWrite(Row* row, Access* a) {
+  for (const SiloWrite& w : silo_writes_) {
+    if (w.row == row) return;  // already in the write set
+  }
+  silo_writes_.push_back({row, a->data});
+  a->type = LockType::kEX;
+}
+
+RC TxnHandle::SiloRead_(Row* row, const char** data) {
+  uint64_t tid = 0;
+  char* buf = SiloStableCopy(row, &tid);
+  silo_reads_.push_back({row, tid});
+  accesses_.push_back({row, LockType::kSH, AccState::kSnapshot, buf});
+  NoteAccess(row);
+  *data = buf;
+  return RC::kOk;
+}
+
+RC TxnHandle::SiloUpdate_(Row* row, char** data) {
+  uint64_t tid = 0;
+  char* buf = SiloStableCopy(row, &tid);
+  silo_reads_.push_back({row, tid});
+  silo_writes_.push_back({row, buf});
+  accesses_.push_back({row, LockType::kEX, AccState::kSnapshot, buf});
+  NoteAccess(row);
+  *data = buf;
+  return RC::kOk;
+}
+
+RC TxnHandle::SiloCommit_(RC user_rc) {
+  if (user_rc == RC::kUserAbort) return RC::kUserAbort;  // nothing held
+
+  if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
+
+  // Lock the write set in address order (deadlock-free), then validate.
+  std::sort(silo_writes_.begin(), silo_writes_.end(),
+            [](const SiloWrite& a, const SiloWrite& b) { return a.row < b.row; });
+  uint64_t start = NowNs();
+  for (size_t i = 0; i < silo_writes_.size(); i++) {
+    Row* row = silo_writes_[i].row;
+    for (;;) {
+      uint64_t cur = row->silo_tid.load(std::memory_order_acquire);
+      if (!(cur & Row::kSiloLockBit) &&
+          row->silo_tid.compare_exchange_weak(cur, cur | Row::kSiloLockBit,
+                                              std::memory_order_acq_rel)) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+  if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += NowNs() - start;
+
+  bool valid = true;
+  for (const SiloRead& r : silo_reads_) {
+    uint64_t cur = r.row->silo_tid.load(std::memory_order_acquire);
+    bool locked_by_other =
+        (cur & Row::kSiloLockBit) &&
+        std::none_of(silo_writes_.begin(), silo_writes_.end(),
+                     [&](const SiloWrite& w) { return w.row == r.row; });
+    if (locked_by_other || (cur & ~Row::kSiloLockBit) != r.tid) {
+      valid = false;
+      break;
+    }
+  }
+
+  if (!valid) {
+    for (const SiloWrite& w : silo_writes_) {
+      uint64_t cur = w.row->silo_tid.load(std::memory_order_acquire);
+      w.row->silo_tid.store(cur & ~Row::kSiloLockBit,
+                            std::memory_order_release);
+    }
+    return RC::kAbort;
+  }
+
+  uint64_t commit_tid = 0;
+  for (const SiloRead& r : silo_reads_) {
+    commit_tid = std::max(commit_tid, r.tid & ~Row::kSiloLockBit);
+  }
+  commit_tid++;
+  for (const SiloWrite& w : silo_writes_) {
+    std::memcpy(w.row->base(), w.buf, w.row->size());
+    w.row->silo_tid.store(commit_tid, std::memory_order_release);
+  }
+  return RC::kOk;
+}
+
+}  // namespace bamboo

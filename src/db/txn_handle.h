@@ -1,0 +1,130 @@
+#ifndef BAMBOO_SRC_DB_TXN_HANDLE_H_
+#define BAMBOO_SRC_DB_TXN_HANDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/db/txn.h"
+#include "src/storage/row.h"
+
+namespace bamboo {
+
+/// Per-worker transaction executor. Construct once per thread and reuse
+/// across attempts: the handle notices a new `txn_seq` and resets itself.
+///
+/// Contract: every attempt ends in Commit() (with kOk or kUserAbort), which
+/// releases all lock footprint; the caller bumps txn_seq and calls
+/// CCManager::Begin before the next attempt.
+class TxnHandle {
+ public:
+  TxnHandle(Database* db, TxnCB* txn);
+
+  /// Read the row at `key`. On success `*data` points at a stable
+  /// transaction-local copy (repeatable within the attempt).
+  RC Read(HashIndex* index, uint64_t key, const char** data);
+
+  /// Read-modify-write the row at `key`. On success `*data` points at the
+  /// transaction's private image; write through it, then call WriteDone().
+  RC Update(HashIndex* index, uint64_t key, char** data);
+
+  /// Fused read-modify-write: `fn(image, arg)` runs under the tuple latch
+  /// and, for Bamboo (outside the Opt-2 tail), the write retires in the
+  /// same latch hold -- the tuple is never exposed in a half-written owner
+  /// state, and queued RMWs are applied by the releasing thread. Preferred
+  /// for short hotspot updates (stored-procedure execution model).
+  RC UpdateRmw(HashIndex* index, uint64_t key, RmwFn fn, void* arg);
+
+  /// Mark the most recent Update as complete. Under Bamboo this retires
+  /// the write lock (early release) unless the Opt-2 tail rule keeps it.
+  void WriteDone();
+
+  /// Finish the attempt. `user_rc` is the transaction logic's verdict
+  /// (kOk or kUserAbort). Returns kOk on commit, kAbort on a protocol
+  /// abort, kUserAbort if the logic abort went through, or kPending when
+  /// the commit was handed off (detach mode only).
+  RC Commit(RC user_rc);
+
+  /// Allow Commit to hand off a dependency-blocked commit instead of
+  /// blocking the worker (commit pipelining). Only safe when the caller
+  /// keeps this handle and its TxnCB untouched until TxnCB::detach_state
+  /// reports completion -- the bench runner's slot pool does; default off.
+  void SetDetachAllowed(bool allowed) { detach_allowed_ = allowed; }
+
+  TxnCB* txn() const { return txn_; }
+
+ private:
+  enum class AccState { kWaiting, kOwner, kRetired, kSnapshot };
+
+  struct Access {
+    Row* row;
+    LockType type;
+    AccState state;
+    char* data;  ///< SH: arena copy; EX: private version image
+  };
+
+  struct SiloRead {
+    Row* row;
+    uint64_t tid;
+  };
+  struct SiloWrite {
+    Row* row;
+    char* buf;
+  };
+
+  void MaybeReset();
+  char* ArenaAlloc(uint32_t size);
+  void Rollback();
+  bool TailWrite() const;
+  /// Deduplication lookup. Linear for short transactions; long ones (the
+  /// 1000-op scans) switch to a lazily built row set so each op stays O(1).
+  Access* FindAccess(Row* row);
+  void NoteAccess(Row* row);
+  /// Mark the attempt doomed (no-wait/wait-die decisions, missing rows) so
+  /// a later Commit(kOk) cannot commit the partial footprint.
+  RC FailAttempt();
+  /// Park until the pending lock request is granted or this txn is
+  /// wounded. Returns the ns spent parked. (With BAMBOO_DEBUG_STUCK it
+  /// polls and dumps the row's queues when stuck.)
+  uint64_t WaitForLock(Row* row);
+
+  /// Finish a detached commit (or its cascade abort) on whatever thread
+  /// claimed it. Must not touch the origin worker's ThreadStats; the
+  /// origin accounts for the outcome when it reclaims the slot.
+  static void CompleteDetachedThunk(TxnCB* txn);
+  void CompleteDetached();
+
+  RC SiloRead_(Row* row, const char** data);
+  RC SiloUpdate_(Row* row, char** data);
+  /// Read-then-write (or re-write) of a Silo row: move the existing
+  /// transaction-local copy into the write set.
+  void SiloPromoteToWrite(Row* row, Access* a);
+  RC SiloCommit_(RC user_rc);
+  char* SiloStableCopy(Row* row, uint64_t* tid_out);
+
+  Database* db_;
+  TxnCB* txn_;
+  const Config& cfg_;
+  LockManager* lm_;
+  uint64_t seen_seq_ = ~0ull;
+  bool detach_allowed_ = false;
+
+  std::vector<Access> accesses_;
+  std::unordered_set<const Row*> seen_rows_;
+  bool use_row_set_ = false;
+  std::vector<SiloRead> silo_reads_;
+  std::vector<SiloWrite> silo_writes_;
+
+  // Chunked arena for transaction-local row copies; pointers are stable
+  // until the next attempt.
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t chunk_idx_ = 0;
+  size_t chunk_off_ = 0;
+  static constexpr size_t kChunkSize = 1 << 16;
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_DB_TXN_HANDLE_H_

@@ -1,0 +1,108 @@
+#ifndef BAMBOO_SRC_STORAGE_ROW_H_
+#define BAMBOO_SRC_STORAGE_ROW_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/db/lock_table.h"
+
+namespace bamboo {
+
+struct TxnCB;
+
+/// One dirty (uncommitted) version of a row. Versions form a chain on top
+/// of the committed base image, oldest first; the chain order equals the
+/// writers' dependency (and therefore commit) order.
+struct Version {
+  TxnCB* writer = nullptr;
+  uint64_t writer_seq = 0;
+  std::unique_ptr<char[]> data;
+};
+
+/// A tuple: committed base image + dirty-version chain + the lock entry
+/// with the owners/retired/waiters queues.
+///
+/// Concurrency contract: the version chain and base image are guarded by
+/// the lock entry's latch. Silo bypasses the chain and uses the `silo_tid`
+/// seqlock word instead. IC3-style column-level locking is modelled by
+/// vertical partitioning in the workload (one Row per column group), not
+/// by extra lock entries here.
+class Row {
+ public:
+  explicit Row(uint32_t size) : size_(size), base_(new char[size]()) {}
+
+  uint32_t size() const { return size_; }
+  char* base() { return base_.get(); }
+  const char* base() const { return base_.get(); }
+
+  LockEntry* Lock() { return &lock_; }
+
+  const std::vector<Version>& chain() const { return chain_; }
+
+  /// Append a new dirty version seeded from the current newest image.
+  /// Caller holds the lock-entry latch.
+  char* PushVersion(TxnCB* writer, uint64_t seq) {
+    Version v;
+    v.writer = writer;
+    v.writer_seq = seq;
+    v.data.reset(new char[size_]);
+    std::memcpy(v.data.get(), NewestData(), size_);
+    chain_.push_back(std::move(v));
+    return chain_.back().data.get();
+  }
+
+  /// Newest image regardless of commit status (the Bamboo dirty read).
+  const char* NewestData() const {
+    return chain_.empty() ? base_.get() : chain_.back().data.get();
+  }
+
+  char* FindVersion(const TxnCB* writer, uint64_t seq) {
+    for (auto& v : chain_) {
+      if (v.writer == writer && v.writer_seq == seq) return v.data.get();
+    }
+    return nullptr;
+  }
+
+  /// Commit `writer`'s version into the base image. Along a conflict chain
+  /// commits happen in chain order, so when the writer has a version it
+  /// must be the oldest. A writer that acquired EX but never wrote (no
+  /// version pushed) commits as a no-op.
+  void CommitVersion(const TxnCB* writer, uint64_t seq) {
+    if (!chain_.empty() && chain_.front().writer == writer &&
+        chain_.front().writer_seq == seq) {
+      std::memcpy(base_.get(), chain_.front().data.get(), size_);
+      chain_.erase(chain_.begin());
+      return;
+    }
+    assert(FindVersion(writer, seq) == nullptr);  // never commit out of order
+  }
+
+  /// Drop `writer`'s version (abort). Removal by identity makes the
+  /// operation order-independent when a whole cascade unwinds.
+  void AbortVersion(const TxnCB* writer, uint64_t seq) {
+    for (auto it = chain_.begin(); it != chain_.end(); ++it) {
+      if (it->writer == writer && it->writer_seq == seq) {
+        chain_.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// Silo TID word: bit 63 is the write lock, low bits the version counter.
+  std::atomic<uint64_t> silo_tid{0};
+  static constexpr uint64_t kSiloLockBit = 1ull << 63;
+
+ private:
+  uint32_t size_;
+  std::unique_ptr<char[]> base_;
+  std::vector<Version> chain_;
+  LockEntry lock_;
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_STORAGE_ROW_H_

@@ -1,0 +1,40 @@
+#include "src/storage/table.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bamboo {
+
+uint32_t Schema::ColumnOffset(const std::string& name) const {
+  for (const auto& c : columns_) {
+    if (c.name == name) return c.offset;
+  }
+  throw std::out_of_range("unknown column: " + name);
+}
+
+HashIndex::HashIndex(uint64_t capacity) {
+  uint64_t slots = 16;
+  while (slots < capacity * 2) slots <<= 1;
+  mask_ = slots - 1;
+  keys_.assign(slots, kEmpty);
+  rows_.assign(slots, nullptr);
+}
+
+void HashIndex::Put(uint64_t key, Row* row) {
+  assert(key != kEmpty);
+  uint64_t s = Slot(key);
+  while (keys_[s] != kEmpty && keys_[s] != key) s = (s + 1) & mask_;
+  keys_[s] = key;
+  rows_[s] = row;
+}
+
+Row* HashIndex::Get(uint64_t key) const {
+  uint64_t s = Slot(key);
+  while (keys_[s] != kEmpty) {
+    if (keys_[s] == key) return rows_[s];
+    s = (s + 1) & mask_;
+  }
+  return nullptr;
+}
+
+}  // namespace bamboo

@@ -1,0 +1,84 @@
+#ifndef BAMBOO_SRC_STORAGE_TABLE_H_
+#define BAMBOO_SRC_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/storage/row.h"
+
+namespace bamboo {
+
+/// Fixed-size columnar layout descriptor. Offsets are assigned in
+/// AddColumn order; workloads address fields via ColumnOffset at load time
+/// and cache the offsets.
+class Schema {
+ public:
+  Schema& AddColumn(const std::string& name, uint32_t size) {
+    columns_.push_back({name, row_size_, size});
+    row_size_ += size;
+    return *this;
+  }
+
+  uint32_t ColumnOffset(const std::string& name) const;
+  uint32_t row_size() const { return row_size_ == 0 ? 1 : row_size_; }
+
+ private:
+  struct Column {
+    std::string name;
+    uint32_t offset;
+    uint32_t size;
+  };
+  std::vector<Column> columns_;
+  uint32_t row_size_ = 0;
+};
+
+/// Row container. Rows live in a deque so pointers stay stable for the
+/// whole run; deletion is not supported (none of the workloads need it).
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Row* CreateRow() {
+    rows_.emplace_back(schema_.row_size());
+    return &rows_.back();
+  }
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::deque<Row> rows_;
+};
+
+/// Fixed-capacity open-addressing hash index (linear probing). Built once
+/// at load time from a single thread, then read-only and latch-free on the
+/// query path.
+class HashIndex {
+ public:
+  explicit HashIndex(uint64_t capacity);
+
+  void Put(uint64_t key, Row* row);
+  Row* Get(uint64_t key) const;
+
+ private:
+  static constexpr uint64_t kEmpty = ~0ull;
+
+  uint64_t Slot(uint64_t key) const {
+    // Fibonacci hashing spreads dense key ranges across the table.
+    return (key * 0x9e3779b97f4a7c15ull) & mask_;
+  }
+
+  uint64_t mask_;
+  std::vector<uint64_t> keys_;
+  std::vector<Row*> rows_;
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_STORAGE_TABLE_H_

@@ -1,0 +1,17 @@
+#ifndef BAMBOO_SRC_WORKLOAD_BENCH_RUNNER_H_
+#define BAMBOO_SRC_WORKLOAD_BENCH_RUNNER_H_
+
+#include "src/common/config.h"
+#include "src/common/stats.h"
+#include "src/workload/workload.h"
+
+namespace bamboo {
+
+/// Build a Database for `cfg`, load `workload` into it, run
+/// `cfg.num_threads` workers for warmup + measured duration, and return
+/// the aggregated counters of the measured window.
+RunResult LoadAndRun(const Config& cfg, Workload* workload);
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_WORKLOAD_BENCH_RUNNER_H_

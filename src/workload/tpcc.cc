@@ -1,0 +1,218 @@
+#include "src/workload/tpcc.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bamboo {
+
+namespace {
+
+uint64_t GetU64(const char* row, uint32_t offset) {
+  uint64_t v;
+  std::memcpy(&v, row + offset, 8);
+  return v;
+}
+
+void PutU64(char* row, uint32_t offset, uint64_t v) {
+  std::memcpy(row + offset, &v, 8);
+}
+
+}  // namespace
+
+void TpccWorkload::Load(Database* db) {
+  partitioned_ = cfg_.protocol == Protocol::kIc3;
+  Catalog* cat = db->catalog();
+  uint64_t n_w = static_cast<uint64_t>(std::max(cfg_.tpcc_warehouses, 1));
+  uint64_t n_d = n_w * static_cast<uint64_t>(cfg_.tpcc_districts_per_warehouse);
+  uint64_t n_c = n_d * static_cast<uint64_t>(cfg_.tpcc_customers_per_district);
+  uint64_t n_i = static_cast<uint64_t>(cfg_.tpcc_items);
+
+  if (!partitioned_) {
+    Schema w_schema;
+    w_schema.AddColumn("W_YTD", 8).AddColumn("W_TAX", 8);
+    Table* w_tbl = cat->CreateTable("warehouse", w_schema);
+    warehouse_ = cat->CreateIndex("warehouse_pk", n_w);
+    for (uint64_t w = 0; w < n_w; w++) db->LoadRow(w_tbl, warehouse_, w);
+
+    Schema d_schema;
+    d_schema.AddColumn("D_YTD", 8).AddColumn("D_TAX", 8).AddColumn(
+        "D_NEXT_O_ID", 8);
+    Table* d_tbl = cat->CreateTable("district", d_schema);
+    district_ = cat->CreateIndex("district_pk", n_d);
+    for (uint64_t d = 0; d < n_d; d++) db->LoadRow(d_tbl, district_, d);
+  } else {
+    Schema wp;
+    wp.AddColumn("W_YTD", 8);
+    Table* wp_tbl = cat->CreateTable("warehouse_pay", wp);
+    warehouse_pay_ = cat->CreateIndex("warehouse_pay_pk", n_w);
+    Schema wr;
+    wr.AddColumn("W_TAX", 8);
+    Table* wr_tbl = cat->CreateTable("warehouse_ro", wr);
+    warehouse_ro_ = cat->CreateIndex("warehouse_ro_pk", n_w);
+    for (uint64_t w = 0; w < n_w; w++) {
+      db->LoadRow(wp_tbl, warehouse_pay_, w);
+      db->LoadRow(wr_tbl, warehouse_ro_, w);
+    }
+
+    Schema dp;
+    dp.AddColumn("D_YTD", 8);
+    Table* dp_tbl = cat->CreateTable("district_pay", dp);
+    district_pay_ = cat->CreateIndex("district_pay_pk", n_d);
+    Schema dn;
+    dn.AddColumn("D_TAX", 8).AddColumn("D_NEXT_O_ID", 8);
+    Table* dn_tbl = cat->CreateTable("district_no", dn);
+    district_no_ = cat->CreateIndex("district_no_pk", n_d);
+    for (uint64_t d = 0; d < n_d; d++) {
+      db->LoadRow(dp_tbl, district_pay_, d);
+      db->LoadRow(dn_tbl, district_no_, d);
+    }
+  }
+
+  Schema c_schema;
+  c_schema.AddColumn("C_BALANCE", 8)
+      .AddColumn("C_YTD_PAYMENT", 8)
+      .AddColumn("C_PAYMENT_CNT", 8);
+  Table* c_tbl = cat->CreateTable("customer", c_schema);
+  customer_ = cat->CreateIndex("customer_pk", n_c);
+  for (uint64_t c = 0; c < n_c; c++) db->LoadRow(c_tbl, customer_, c);
+
+  Schema i_schema;
+  i_schema.AddColumn("I_PRICE", 8);
+  Table* i_tbl = cat->CreateTable("item", i_schema);
+  item_ = cat->CreateIndex("item_pk", n_i);
+  for (uint64_t i = 0; i < n_i; i++) {
+    Row* row = db->LoadRow(i_tbl, item_, i);
+    PutU64(row->base(), 0, 100 + i % 900);  // price in cents
+  }
+
+  Schema s_schema;
+  s_schema.AddColumn("S_QUANTITY", 8).AddColumn("S_YTD", 8);
+  Table* s_tbl = cat->CreateTable("stock", s_schema);
+  stock_ = cat->CreateIndex("stock_pk", n_w * n_i);
+  for (uint64_t w = 0; w < n_w; w++) {
+    for (uint64_t i = 0; i < n_i; i++) {
+      Row* row = db->LoadRow(s_tbl, stock_, StockKey(w, i));
+      PutU64(row->base(), 0, 91);  // initial quantity
+    }
+  }
+}
+
+RC TpccWorkload::RunTxn(TxnHandle* handle, Rng* rng) {
+  return rng->NextDouble() < 0.5 ? Payment(handle, rng)
+                                 : NewOrder(handle, rng);
+}
+
+namespace {
+
+/// Fused-RMW bodies; they run under the tuple latch.
+void AddAtOffset0(char* row, void* arg) {
+  PutU64(row, 0, GetU64(row, 0) + *static_cast<uint64_t*>(arg));
+}
+
+void PaymentCustomerRmw(char* row, void* arg) {
+  uint64_t amount = *static_cast<uint64_t*>(arg);
+  PutU64(row, 0, GetU64(row, 0) - amount);  // C_BALANCE -= amount
+  PutU64(row, 8, GetU64(row, 8) + amount);  // C_YTD_PAYMENT += amount
+  PutU64(row, 16, GetU64(row, 16) + 1);     // C_PAYMENT_CNT++
+}
+
+struct NextOidArg {
+  uint32_t offset;
+};
+void BumpNextOid(char* row, void* arg) {
+  uint32_t off = static_cast<NextOidArg*>(arg)->offset;
+  PutU64(row, off, GetU64(row, off) + 1);  // D_NEXT_O_ID++
+}
+
+void StockRmw(char* row, void* arg) {
+  uint64_t order_qty = *static_cast<uint64_t*>(arg);
+  uint64_t qty = GetU64(row, 0);
+  qty = qty >= order_qty + 10 ? qty - order_qty : qty + 91 - order_qty;
+  PutU64(row, 0, qty);                          // S_QUANTITY
+  PutU64(row, 8, GetU64(row, 8) + order_qty);   // S_YTD
+}
+
+}  // namespace
+
+RC TpccWorkload::Payment(TxnHandle* h, Rng* rng) {
+  uint64_t w = rng->Uniform(static_cast<uint64_t>(cfg_.tpcc_warehouses));
+  uint64_t d =
+      rng->Uniform(static_cast<uint64_t>(cfg_.tpcc_districts_per_warehouse));
+  uint64_t c =
+      rng->Uniform(static_cast<uint64_t>(cfg_.tpcc_customers_per_district));
+  uint64_t amount = 1 + rng->Uniform(5000);
+  h->txn()->planned_ops = 3;
+
+  HashIndex* w_idx = partitioned_ ? warehouse_pay_ : warehouse_;
+  if (h->UpdateRmw(w_idx, w, AddAtOffset0, &amount) != RC::kOk) {
+    return h->Commit(RC::kOk);  // W_YTD += amount
+  }
+
+  HashIndex* d_idx = partitioned_ ? district_pay_ : district_;
+  if (h->UpdateRmw(d_idx, DistrictKey(w, d), AddAtOffset0, &amount) !=
+      RC::kOk) {
+    return h->Commit(RC::kOk);  // D_YTD += amount
+  }
+
+  if (h->UpdateRmw(customer_, CustomerKey(w, d, c), PaymentCustomerRmw,
+                   &amount) != RC::kOk) {
+    return h->Commit(RC::kOk);
+  }
+
+  return h->Commit(RC::kOk);
+}
+
+RC TpccWorkload::NewOrder(TxnHandle* h, Rng* rng) {
+  uint64_t w = rng->Uniform(static_cast<uint64_t>(cfg_.tpcc_warehouses));
+  uint64_t d =
+      rng->Uniform(static_cast<uint64_t>(cfg_.tpcc_districts_per_warehouse));
+  int n_items = 5 + static_cast<int>(rng->Uniform(11));  // 5..15
+  // TPC-C 2.4.1.5: ~1% of new-orders carry an invalid item id and roll
+  // back at the end, after the district/stock writes -- the user-abort
+  // cascade exercise.
+  bool invalid_item = rng->NextDouble() < 0.01;
+  bool read_wytd = cfg_.tpcc_neworder_reads_wytd;
+  h->txn()->planned_ops = 2 + (read_wytd ? 1 : 0) + 2 * n_items;
+
+  const char* rdata = nullptr;
+  HashIndex* wtax_idx = partitioned_ ? warehouse_ro_ : warehouse_;
+  if (h->Read(wtax_idx, w, &rdata) != RC::kOk) return h->Commit(RC::kOk);
+  uint64_t w_tax = GetU64(rdata, partitioned_ ? 0 : 8);
+  (void)w_tax;
+
+  if (read_wytd) {
+    HashIndex* wytd_idx = partitioned_ ? warehouse_pay_ : warehouse_;
+    if (h->Read(wytd_idx, w, &rdata) != RC::kOk) return h->Commit(RC::kOk);
+  }
+
+  HashIndex* d_idx = partitioned_ ? district_no_ : district_;
+  NextOidArg oid_arg{partitioned_ ? 8u : 16u};
+  if (h->UpdateRmw(d_idx, DistrictKey(w, d), BumpNextOid, &oid_arg) !=
+      RC::kOk) {
+    return h->Commit(RC::kOk);
+  }
+
+  uint64_t items = static_cast<uint64_t>(cfg_.tpcc_items);
+  uint64_t seen[16] = {0};
+  for (int i = 0; i < n_items; i++) {
+    uint64_t item_id;
+    for (;;) {  // distinct items per order
+      item_id = rng->Uniform(items);
+      bool dup = false;
+      for (int j = 0; j < i; j++) dup |= seen[j] == item_id;
+      if (!dup) break;
+    }
+    seen[i] = item_id;
+    if (h->Read(item_, item_id, &rdata) != RC::kOk) return h->Commit(RC::kOk);
+
+    uint64_t order_qty = 1 + rng->Uniform(10);
+    if (h->UpdateRmw(stock_, StockKey(w, item_id), StockRmw, &order_qty) !=
+        RC::kOk) {
+      return h->Commit(RC::kOk);
+    }
+  }
+
+  return h->Commit(invalid_item ? RC::kUserAbort : RC::kOk);
+}
+
+}  // namespace bamboo

@@ -1,0 +1,27 @@
+#ifndef BAMBOO_SRC_WORKLOAD_WORKLOAD_H_
+#define BAMBOO_SRC_WORKLOAD_WORKLOAD_H_
+
+#include "src/common/config.h"
+#include "src/common/rng.h"
+#include "src/db/txn_handle.h"
+
+namespace bamboo {
+
+/// A benchmark workload: loads its tables into a Database, then executes
+/// one transaction attempt at a time on a worker's TxnHandle.
+///
+/// RunTxn draws every random choice from `rng`, so the runner can retry an
+/// aborted transaction deterministically by replaying the same seed.
+/// Implementations finish each attempt with handle->Commit(...) and return
+/// its verdict (kOk / kAbort / kUserAbort).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual void Load(Database* db) = 0;
+  virtual RC RunTxn(TxnHandle* handle, Rng* rng) = 0;
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_WORKLOAD_WORKLOAD_H_

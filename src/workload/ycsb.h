@@ -1,0 +1,32 @@
+#ifndef BAMBOO_SRC_WORKLOAD_YCSB_H_
+#define BAMBOO_SRC_WORKLOAD_YCSB_H_
+
+#include "src/workload/workload.h"
+
+namespace bamboo {
+
+/// YCSB with Zipfian key choice: `ycsb_ops_per_txn` operations per
+/// transaction, each a read (w.p. ycsb_read_ratio) or a read-modify-write.
+/// Optionally a fraction of long read-only scan transactions
+/// (`ycsb_long_txn_frac` x `ycsb_long_txn_ops`) for the Figure 7 setup.
+/// Keys are distinct within a transaction, so no lock upgrades occur.
+class YcsbWorkload : public Workload {
+ public:
+  explicit YcsbWorkload(const Config& cfg) : cfg_(cfg) {}
+
+  void Load(Database* db) override;
+  RC RunTxn(TxnHandle* handle, Rng* rng) override;
+
+ private:
+  uint64_t DistinctKey(Rng* rng, const uint64_t* seen, int n_seen) const;
+
+  const Config& cfg_;
+  HashIndex* index_ = nullptr;
+  ZipfianGenerator zipf_;
+  int ops_ = 16;       ///< per-txn ops, clamped to the table size at Load
+  int long_ops_ = 1000;
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_WORKLOAD_YCSB_H_

@@ -1,0 +1,225 @@
+// Single-threaded semantics of the lock manager: compatibility matrix,
+// retire motion between queues, wake-up order, and the per-protocol
+// conflict decisions (wound-wait / wait-die / no-wait).
+#include <atomic>
+
+#include "src/db/lock_table.h"
+#include "src/db/txn.h"
+#include "src/storage/row.h"
+#include "tests/test_util.h"
+
+namespace bamboo {
+namespace {
+
+struct Fixture {
+  explicit Fixture(Protocol p) {
+    cfg.protocol = p;
+    lm = new LockManager(cfg, &ts_counter);
+  }
+  ~Fixture() { delete lm; }
+
+  Config cfg;
+  std::atomic<uint64_t> ts_counter{0};
+  LockManager* lm;
+  Row row{8};
+  char buf[8];
+};
+
+TxnCB* MakeTxn(uint64_t ts) {
+  TxnCB* t = new TxnCB();
+  t->ts.store(ts);
+  return t;
+}
+
+void TestSharedCompatible() {
+  Fixture f(Protocol::kWoundWait);
+  TxnCB* t1 = MakeTxn(1);
+  TxnCB* t2 = MakeTxn(2);
+  CHECK(f.lm->Acquire(&f.row, t1, LockType::kSH, f.buf).rc ==
+        AcqResult::kGranted);
+  CHECK(f.lm->Acquire(&f.row, t2, LockType::kSH, f.buf).rc ==
+        AcqResult::kGranted);
+  CHECK_EQ(f.lm->OwnerCount(&f.row), 2u);
+  f.lm->Release(&f.row, t1, true);
+  f.lm->Release(&f.row, t2, true);
+  CHECK_EQ(f.lm->OwnerCount(&f.row), 0u);
+  delete t1;
+  delete t2;
+}
+
+void TestExclusiveConflictQueues() {
+  Fixture f(Protocol::kWoundWait);
+  TxnCB* older = MakeTxn(1);
+  TxnCB* younger = MakeTxn(2);
+  CHECK(f.lm->Acquire(&f.row, older, LockType::kEX, f.buf).rc ==
+        AcqResult::kGranted);
+  // Younger conflicting requester must wait, not wound.
+  CHECK(f.lm->Acquire(&f.row, younger, LockType::kSH, f.buf).rc ==
+        AcqResult::kWait);
+  CHECK_EQ(f.lm->WaiterCount(&f.row), 1u);
+  CHECK(older->status.load() != TxnStatus::kAborted);
+  older->status.store(TxnStatus::kCommitted);
+  f.lm->Release(&f.row, older, true);
+  // The waiter was promoted and flagged.
+  CHECK_EQ(f.lm->OwnerCount(&f.row), 1u);
+  CHECK_EQ(younger->lock_granted.load(), 1u);
+  CHECK(f.lm->CompleteAcquire(&f.row, younger, LockType::kSH, f.buf).rc ==
+        AcqResult::kGranted);
+  f.lm->Release(&f.row, younger, true);
+  delete older;
+  delete younger;
+}
+
+void TestWoundWaitKillsYoungerOwner() {
+  Fixture f(Protocol::kWoundWait);
+  TxnCB* younger = MakeTxn(10);
+  TxnCB* older = MakeTxn(5);
+  CHECK(f.lm->Acquire(&f.row, younger, LockType::kEX, f.buf).rc ==
+        AcqResult::kGranted);
+  CHECK(f.lm->Acquire(&f.row, older, LockType::kSH, f.buf).rc ==
+        AcqResult::kWait);
+  // The older requester wounded the younger owner.
+  CHECK(younger->status.load() == TxnStatus::kAborted);
+  // Wounded owner rolls back; waiter takes over.
+  f.lm->Release(&f.row, younger, false);
+  CHECK_EQ(f.lm->OwnerCount(&f.row), 1u);
+  CHECK_EQ(older->lock_granted.load(), 1u);
+  f.lm->Release(&f.row, older, true);
+  delete younger;
+  delete older;
+}
+
+void TestReleaseWakesInTimestampOrder() {
+  Fixture f(Protocol::kWoundWait);
+  TxnCB* holder = MakeTxn(1);
+  TxnCB* mid = MakeTxn(7);
+  TxnCB* late = MakeTxn(10);
+  CHECK(f.lm->Acquire(&f.row, holder, LockType::kEX, f.buf).rc ==
+        AcqResult::kGranted);
+  // Enqueue out of timestamp order: late first, then mid.
+  CHECK(f.lm->Acquire(&f.row, late, LockType::kEX, f.buf).rc ==
+        AcqResult::kWait);
+  CHECK(f.lm->Acquire(&f.row, mid, LockType::kEX, f.buf).rc ==
+        AcqResult::kWait);
+  CHECK_EQ(f.lm->WaiterCount(&f.row), 2u);
+  holder->status.store(TxnStatus::kCommitted);
+  f.lm->Release(&f.row, holder, true);
+  // Oldest waiter (mid) wins; late keeps waiting.
+  CHECK_EQ(mid->lock_granted.load(), 1u);
+  CHECK_EQ(late->lock_granted.load(), 0u);
+  mid->status.store(TxnStatus::kCommitted);
+  f.lm->Release(&f.row, mid, true);
+  CHECK_EQ(late->lock_granted.load(), 1u);
+  f.lm->Release(&f.row, late, true);
+  delete holder;
+  delete mid;
+  delete late;
+}
+
+void TestRetireMovesOwnerToRetired() {
+  Fixture f(Protocol::kBamboo);
+  TxnCB* t = MakeTxn(1);
+  AccessGrant g = f.lm->Acquire(&f.row, t, LockType::kEX, f.buf);
+  CHECK(g.rc == AcqResult::kGranted);
+  CHECK(g.write_data != nullptr);
+  CHECK_EQ(f.lm->OwnerCount(&f.row), 1u);
+  CHECK_EQ(f.lm->RetiredCount(&f.row), 0u);
+  f.lm->Retire(&f.row, t);
+  CHECK_EQ(f.lm->OwnerCount(&f.row), 0u);
+  CHECK_EQ(f.lm->RetiredCount(&f.row), 1u);
+  t->status.store(TxnStatus::kCommitted);
+  f.lm->Release(&f.row, t, true);
+  CHECK_EQ(f.lm->RetiredCount(&f.row), 0u);
+  delete t;
+}
+
+void TestBambooReadRetiresAtAcquire() {
+  Fixture f(Protocol::kBamboo);  // Opt 1 on by default
+  TxnCB* t = MakeTxn(1);
+  AccessGrant g = f.lm->Acquire(&f.row, t, LockType::kSH, f.buf);
+  CHECK(g.rc == AcqResult::kGranted);
+  CHECK(g.retired);
+  CHECK_EQ(f.lm->OwnerCount(&f.row), 0u);
+  CHECK_EQ(f.lm->RetiredCount(&f.row), 1u);
+  f.lm->Release(&f.row, t, true);
+  delete t;
+}
+
+void TestBambooAcquireBehindRetiredWriter() {
+  Fixture f(Protocol::kBamboo);
+  f.cfg.bb_opt_raw_read = false;  // force the dirty-read path
+  TxnCB* writer = MakeTxn(1);
+  TxnCB* reader = MakeTxn(2);
+  ThreadStats stats;
+  reader->stats = &stats;
+  AccessGrant g = f.lm->Acquire(&f.row, writer, LockType::kEX, f.buf);
+  *reinterpret_cast<uint64_t*>(g.write_data) = 42;
+  f.lm->Retire(&f.row, writer);
+  // Younger reader joins behind the retired writer: dirty read + dependency.
+  g = f.lm->Acquire(&f.row, reader, LockType::kSH, f.buf);
+  CHECK(g.rc == AcqResult::kGranted);
+  CHECK(g.dirty);
+  CHECK_EQ(*reinterpret_cast<uint64_t*>(f.buf), 42u);
+  CHECK_EQ(reader->commit_semaphore.load(), 1);
+  CHECK_EQ(stats.dirty_reads, 1u);
+  writer->status.store(TxnStatus::kCommitted);
+  f.lm->Release(&f.row, writer, true);
+  CHECK_EQ(reader->commit_semaphore.load(), 0);
+  f.lm->Release(&f.row, reader, true);
+  delete writer;
+  delete reader;
+}
+
+void TestNoWaitAborts() {
+  Fixture f(Protocol::kNoWait);
+  TxnCB* t1 = MakeTxn(0);
+  TxnCB* t2 = MakeTxn(0);
+  CHECK(f.lm->Acquire(&f.row, t1, LockType::kSH, f.buf).rc ==
+        AcqResult::kGranted);
+  CHECK(f.lm->Acquire(&f.row, t2, LockType::kEX, f.buf).rc ==
+        AcqResult::kAbort);
+  CHECK_EQ(f.lm->WaiterCount(&f.row), 0u);
+  f.lm->Release(&f.row, t1, true);
+  delete t1;
+  delete t2;
+}
+
+void TestWaitDieDecision() {
+  Fixture f(Protocol::kWaitDie);
+  TxnCB* holder = MakeTxn(10);
+  TxnCB* older = MakeTxn(5);
+  TxnCB* younger = MakeTxn(20);
+  CHECK(f.lm->Acquire(&f.row, holder, LockType::kEX, f.buf).rc ==
+        AcqResult::kGranted);
+  // Older requester waits...
+  CHECK(f.lm->Acquire(&f.row, older, LockType::kSH, f.buf).rc ==
+        AcqResult::kWait);
+  // ...the younger one dies.
+  CHECK(f.lm->Acquire(&f.row, younger, LockType::kSH, f.buf).rc ==
+        AcqResult::kAbort);
+  CHECK(holder->status.load() != TxnStatus::kAborted);  // nobody wounds
+  holder->status.store(TxnStatus::kCommitted);
+  f.lm->Release(&f.row, holder, true);
+  CHECK_EQ(older->lock_granted.load(), 1u);
+  f.lm->Release(&f.row, older, true);
+  delete holder;
+  delete older;
+  delete younger;
+}
+
+}  // namespace
+}  // namespace bamboo
+
+int main() {
+  using namespace bamboo;
+  RUN_TEST(TestSharedCompatible);
+  RUN_TEST(TestExclusiveConflictQueues);
+  RUN_TEST(TestWoundWaitKillsYoungerOwner);
+  RUN_TEST(TestReleaseWakesInTimestampOrder);
+  RUN_TEST(TestRetireMovesOwnerToRetired);
+  RUN_TEST(TestBambooReadRetiresAtAcquire);
+  RUN_TEST(TestBambooAcquireBehindRetiredWriter);
+  RUN_TEST(TestNoWaitAborts);
+  RUN_TEST(TestWaitDieDecision);
+  return bamboo::test::Summary("lock_table_test");
+}

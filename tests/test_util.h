@@ -1,0 +1,56 @@
+#ifndef BAMBOO_TESTS_TEST_UTIL_H_
+#define BAMBOO_TESTS_TEST_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Minimal assertion harness: no external dependency, ctest-friendly exit
+/// codes, failures keep running so one run reports everything.
+namespace bamboo {
+namespace test {
+
+inline int& Failures() {
+  static int failures = 0;
+  return failures;
+}
+
+inline int Summary(const char* suite) {
+  if (Failures() == 0) {
+    std::printf("[  PASSED  ] %s\n", suite);
+    return 0;
+  }
+  std::printf("[  FAILED  ] %s: %d check(s)\n", suite, Failures());
+  return 1;
+}
+
+}  // namespace test
+}  // namespace bamboo
+
+#define CHECK(cond)                                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::printf("[ CHECK FAILED ] %s:%d: %s\n", __FILE__, __LINE__,      \
+                  #cond);                                                  \
+      ::bamboo::test::Failures()++;                                        \
+    }                                                                      \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                     \
+  do {                                                                     \
+    auto va = (a);                                                         \
+    auto vb = (b);                                                         \
+    if (!(va == vb)) {                                                     \
+      std::printf("[ CHECK FAILED ] %s:%d: %s == %s (%lld vs %lld)\n",     \
+                  __FILE__, __LINE__, #a, #b,                              \
+                  static_cast<long long>(va), static_cast<long long>(vb)); \
+      ::bamboo::test::Failures()++;                                        \
+    }                                                                      \
+  } while (0)
+
+#define RUN_TEST(fn)                  \
+  do {                                \
+    std::printf("[ RUN ] %s\n", #fn); \
+    fn();                             \
+  } while (0)
+
+#endif  // BAMBOO_TESTS_TEST_UTIL_H_

@@ -1,0 +1,156 @@
+// Workload-layer sanity: Zipfian generator distribution + determinism,
+// TPC-C new-order under every protocol, and the BB_BENCH_* environment
+// parsing round-trip.
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/db/txn_handle.h"
+#include "src/workload/tpcc.h"
+#include "src/workload/ycsb.h"
+#include "tests/test_util.h"
+
+namespace bamboo {
+namespace {
+
+void TestZipfDistribution() {
+  constexpr uint64_t kRows = 1000;
+  constexpr int kSamples = 100000;
+
+  // Skewed: the hottest key must dominate (theta=0.99 -> ~13% of draws).
+  ZipfianGenerator skewed;
+  skewed.Init(kRows, 0.99);
+  Rng rng(42);
+  int hot_hits = 0;
+  for (int i = 0; i < kSamples; i++) {
+    uint64_t k = skewed.Next(&rng);
+    CHECK(k < kRows);
+    if (k == 0) hot_hits++;
+  }
+  CHECK(hot_hits > kSamples / 20);
+
+  // Uniform (theta=0): no key should be much above 1/n.
+  ZipfianGenerator uniform;
+  uniform.Init(kRows, 0.0);
+  std::vector<int> counts(kRows, 0);
+  for (int i = 0; i < kSamples; i++) counts[uniform.Next(&rng)]++;
+  int max_count = 0;
+  for (int c : counts) max_count = std::max(max_count, c);
+  CHECK(max_count < kSamples / 200);  // 0.5% vs expected 0.1%
+
+  // Determinism: identical seeds give identical streams.
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; i++) CHECK_EQ(skewed.Next(&a), skewed.Next(&b));
+}
+
+void TestTpccCommitsUnderEveryProtocol() {
+  const Protocol protocols[] = {Protocol::kBamboo,   Protocol::kWoundWait,
+                                Protocol::kWaitDie,  Protocol::kNoWait,
+                                Protocol::kSilo,     Protocol::kIc3};
+  for (Protocol p : protocols) {
+    Config cfg;
+    cfg.protocol = p;
+    cfg.tpcc_warehouses = 1;
+    cfg.tpcc_customers_per_district = 30;
+    cfg.tpcc_items = 100;
+
+    Database db(cfg);
+    TpccWorkload wl(cfg);
+    wl.Load(&db);
+
+    ThreadStats stats;
+    TxnCB txn;
+    txn.stats = &stats;
+    TxnHandle handle(&db, &txn);
+    Rng rng(1234);
+    uint64_t commits = 0, user_aborts = 0;
+    for (int i = 0; i < 200; i++) {
+      uint64_t seed = rng.Next();
+      for (;;) {
+        txn.txn_seq.fetch_add(1, std::memory_order_relaxed);
+        txn.ResetForAttempt(false);
+        db.cc()->Begin(&txn);
+        Rng txn_rng(seed);
+        RC rc = wl.RunTxn(&handle, &txn_rng);
+        if (rc == RC::kOk) {
+          commits++;
+          break;
+        }
+        if (rc == RC::kUserAbort) {
+          user_aborts++;
+          break;
+        }
+      }
+    }
+    // Single-threaded: everything commits except the ~1% invalid-item
+    // new-orders.
+    CHECK(commits >= 190);
+    CHECK_EQ(commits + user_aborts, 200u);
+  }
+}
+
+void TestOptionsFromEnvRoundTrip() {
+  setenv("BB_BENCH_DURATION", "0.125", 1);
+  setenv("BB_BENCH_WARMUP", "0.03", 1);
+  setenv("BB_YCSB_ROWS", "4321", 1);
+  setenv("BB_TPCC_CUST", "77", 1);
+  unsetenv("BB_BENCH_FULL");
+
+  bench::Options opt = bench::FromEnv();
+  CHECK(opt.duration == 0.125);
+  CHECK(opt.warmup == 0.03);
+  CHECK_EQ(opt.ycsb_rows, 4321u);
+  CHECK_EQ(opt.tpcc_customers, 77);
+  CHECK(!opt.full);
+
+  // The sweep scales with BB_BENCH_FULL.
+  std::vector<int> small = opt.ThreadSweep();
+  CHECK_EQ(small.back(), 16);
+  setenv("BB_BENCH_FULL", "1", 1);
+  unsetenv("BB_TPCC_CUST");  // let the full-mode default kick in
+  bench::Options full = bench::FromEnv();
+  CHECK(full.full);
+  CHECK_EQ(full.ThreadSweep().back(), 120);
+  CHECK_EQ(full.tpcc_customers, 3000);  // full-mode default
+  unsetenv("BB_BENCH_FULL");
+  setenv("BB_TPCC_CUST", "77", 1);
+
+  // BaseConfig carries the knobs into the engine Config.
+  Config cfg = opt.BaseConfig();
+  CHECK(cfg.duration_seconds == 0.125);
+  CHECK(cfg.warmup_seconds == 0.03);
+  CHECK_EQ(cfg.ycsb_rows, 4321u);
+  CHECK_EQ(cfg.tpcc_customers_per_district, 77);
+
+  unsetenv("BB_BENCH_DURATION");
+  unsetenv("BB_BENCH_WARMUP");
+  unsetenv("BB_YCSB_ROWS");
+  unsetenv("BB_TPCC_CUST");
+}
+
+void TestYcsbRunsShort() {
+  Config cfg;
+  cfg.protocol = Protocol::kBamboo;
+  cfg.num_threads = 2;
+  cfg.duration_seconds = 0.05;
+  cfg.warmup_seconds = 0.01;
+  cfg.ycsb_rows = 1000;
+  cfg.ycsb_zipf_theta = 0.9;
+  YcsbWorkload wl(cfg);
+  RunResult r = LoadAndRun(cfg, &wl);
+  CHECK(r.total.commits > 0);
+  CHECK(r.Throughput() > 0);
+}
+
+}  // namespace
+}  // namespace bamboo
+
+int main() {
+  using namespace bamboo;
+  RUN_TEST(TestZipfDistribution);
+  RUN_TEST(TestTpccCommitsUnderEveryProtocol);
+  RUN_TEST(TestOptionsFromEnvRoundTrip);
+  RUN_TEST(TestYcsbRunsShort);
+  return bamboo::test::Summary("workload_test");
+}

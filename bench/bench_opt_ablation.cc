@@ -34,7 +34,7 @@ int main() {
   TablePrinter tbl(
       "Bamboo optimization ablation, YCSB theta=0.9 rr=0.5",
       {"variant", "throughput(txn/s)", "abort_rate", "dirty_reads/txn",
-       "breakdown(ms/txn)"});
+       "raw_reads/txn", "breakdown(ms/txn)"});
   for (const Variant& v : variants) {
     Config cfg = opt.BaseConfig();
     cfg.protocol = Protocol::kBamboo;
@@ -46,13 +46,14 @@ int main() {
     cfg.bb_opt_raw_read = v.o3;
     cfg.dynamic_ts = v.o4;
     RunResult r = RunYcsb(cfg);
-    double dirty_per_txn =
-        r.total.commits > 0
-            ? static_cast<double>(r.total.dirty_reads) /
-                  static_cast<double>(r.total.commits)
-            : 0.0;
+    auto per_txn = [&r](uint64_t n) {
+      return r.total.commits > 0 ? static_cast<double>(n) /
+                                       static_cast<double>(r.total.commits)
+                                 : 0.0;
+    };
     tbl.AddRow({v.name, FmtThroughput(r), Fmt(r.AbortRate(), 3),
-                Fmt(dirty_per_txn, 2), FmtBreakdown(r)});
+                Fmt(per_txn(r.total.dirty_reads), 2),
+                Fmt(per_txn(r.total.raw_reads), 2), FmtBreakdown(r)});
   }
   tbl.Print("each optimization contributes; opt3 matters most on "
             "read-write mixes (RAW aborts), opt4 reduces first-conflict "

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Sanitizer sweep: build with TSan and with ASan+UBSan and run the ctest
+# suites under each, so races in the lock manager's latch-free handshakes
+# (wound/claim, detached commits, CTS publication) get caught automatically.
+# Usage: scripts/run_sanitizers.sh [thread|address]   (default: both)
+set -eu
+
+cd "$(dirname "$0")/.."
+FLAVORS="${1:-thread address}"
+
+for san in $FLAVORS; do
+  case "$san" in
+    thread|address) ;;
+    *) echo "unknown sanitizer flavor: $san (want thread|address)" >&2
+       exit 2 ;;
+  esac
+  build="build-${san}san"
+  echo "== ${san} sanitizer -> ${build} =="
+  cmake -B "$build" -S . -DBAMBOO_SANITIZE="$san" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j "$(nproc)"
+  # halt_on_error makes ctest fail loudly on the first report instead of
+  # letting a racy test "pass" with diagnostics buried in its output.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
+  ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=0}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}" \
+    ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+done

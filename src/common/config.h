@@ -57,7 +57,10 @@ struct Config {
   /// retired (the tail gains little and the bookkeeping is pure overhead).
   bool bb_opt_no_retire_tail = true;
   /// Opt 3: a reader older than every uncommitted retired writer is served
-  /// the newest *committed* version instead of wounding the writers.
+  /// a *committed* version instead of wounding the writers. Served versions
+  /// come from a commit-timestamp snapshot pinned at the reader's first raw
+  /// read, so raw reads stay consistent across rows (strict
+  /// serializability); see DESIGN.md "Opt 3: commit-timestamp snapshots".
   bool bb_opt_raw_read = true;
   /// Opt 4: timestamps are assigned on first conflict instead of at begin,
   /// so conflict-free transactions are never ordered (fewer wounds).

@@ -12,6 +12,7 @@ struct ThreadStats {
   uint64_t aborts = 0;        ///< protocol aborts (wound/die/no-wait/validation)
   uint64_t user_aborts = 0;   ///< logic aborts (e.g. TPC-C invalid item)
   uint64_t dirty_reads = 0;   ///< reads served from an uncommitted version
+  uint64_t raw_reads = 0;     ///< Opt-3 snapshot reads (no lock footprint)
   uint64_t cascade_events = 0;   ///< root aborts that wounded >=1 dependent
   uint64_t cascade_victims = 0;  ///< transactions aborted via a dependency
 
@@ -24,6 +25,7 @@ struct ThreadStats {
     aborts += o.aborts;
     user_aborts += o.user_aborts;
     dirty_reads += o.dirty_reads;
+    raw_reads += o.raw_reads;
     cascade_events += o.cascade_events;
     cascade_victims += o.cascade_victims;
     lock_wait_ns += o.lock_wait_ns;

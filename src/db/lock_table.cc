@@ -48,6 +48,22 @@ void DropDependentRecords(LockEntry* e, const TxnCB* txn) {
 thread_local std::vector<TxnCB*> t_pending_completions;
 thread_local bool t_draining = false;
 
+/// Commit timestamp of a chain version if it is both committed and
+/// stamped; 0 otherwise. Snapshots pin the *published* CTS watermark
+/// (CCManager::PublishCts), so every stamp at or below a pin is already
+/// visible -- a version still showing kCommitting or an unstamped 0
+/// necessarily carries a stamp above the pin, and treating it as
+/// invisible is exactly right (and consistent across rows). Caller holds
+/// the row latch, which keeps the version (and its writer's attempt)
+/// alive.
+uint64_t VersionCommitCts(const Version& v) {
+  if (v.writer->status.load(std::memory_order_acquire) !=
+      TxnStatus::kCommitted) {
+    return 0;
+  }
+  return v.writer->commit_cts.load(std::memory_order_acquire);
+}
+
 }  // namespace
 
 bool LockManager::WoundAndClaim(TxnCB* victim, bool cascade) {
@@ -206,9 +222,24 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
       break;
 
     case Protocol::kBamboo: {
+      // A pinned snapshot makes this transaction read-only: its raw reads
+      // sit at the pin, and a write would have to serialize after commits
+      // those reads ignored. Abort here -- before wounding anyone on a
+      // doomed attempt -- and suppress the raw path for the retry so a
+      // persistently hot row cannot livelock the transaction.
+      if (type == LockType::kEX &&
+          txn->raw_snapshot_cts.load(std::memory_order_relaxed) != 0) {
+        txn->raw_suppressed = true;
+        AccessGrant a;
+        a.rc = AcqResult::kAbort;
+        return a;
+      }
+
       // Opt 3: a reader older than every uncommitted retired writer is
-      // serialized *before* them: serve the newest committed image with no
-      // lock footprint instead of wounding the writers.
+      // serialized *before* them: serve a committed image with no lock
+      // footprint instead of wounding the writers. The image comes from
+      // the transaction's CTS snapshot (pinned at its first raw read), so
+      // raw reads across rows are mutually consistent.
       if (type == LockType::kSH && cfg_.bb_opt_raw_read && c_owners.empty() &&
           !c_retired.empty()) {
         bool all_uncommitted_younger = true;
@@ -221,21 +252,20 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
             break;
           }
         }
-        if (any_uncommitted && all_uncommitted_younger) {
-          const char* src = row->base();
-          for (const Version& v : row->chain()) {
-            if (v.writer->status.load(std::memory_order_acquire) ==
-                TxnStatus::kCommitted) {
-              src = v.data.get();
-            } else {
-              break;  // first uncommitted version; stop below it
-            }
-          }
-          std::memcpy(read_buf, src, row->size());
-          AccessGrant a;
-          a.rc = AcqResult::kGranted;
-          a.took_lock = false;
-          return a;
+        // Pin a fresh snapshot only for a transaction that has not written
+        // (pinned transactions must stay read-only), was not suppressed by
+        // a failed earlier attempt, and whose every dirty observation so
+        // far has committed (semaphore drained -- their stamps are then
+        // covered by the pin). Pre-pin *clean* locked reads need no check:
+        // their retired footprint forces later writers of those rows to
+        // commit after this reader. Otherwise fall through to the ordinary
+        // wound/wait path.
+        if (any_uncommitted && all_uncommitted_younger &&
+            (txn->raw_snapshot_cts.load(std::memory_order_relaxed) != 0 ||
+             (!txn->raw_suppressed &&
+              !txn->wrote_any.load(std::memory_order_relaxed) &&
+              txn->commit_semaphore.load(std::memory_order_acquire) == 0))) {
+          return RawSnapshotRead(row, txn, read_buf);
         }
       }
 
@@ -284,8 +314,10 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
   req.type = type;
   AccessGrant grant;
   grant.rc = AcqResult::kGranted;
+  ValidateSnapshotObservation(row, txn, type);
   grant.dirty = RegisterBarrier(e, txn, type, seq);
   if (type == LockType::kEX) {
+    txn->wrote_any.store(true, std::memory_order_relaxed);
     grant.write_data = row->PushVersion(txn, seq);
     if (rmw_fn != nullptr) {
       // Fused RMW: apply and (for Bamboo, outside the Opt-2 tail) retire
@@ -316,21 +348,98 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
   return grant;
 }
 
-/// Register the commit dependency for a grant: the *latest* conflicting
-/// retired entry is the barrier; it cannot commit before everything it
-/// depends on, so one edge per tuple suffices. Returns whether the grant
-/// consumes an uncommitted (dirty) state.
-bool LockManager::RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type,
-                                  uint64_t seq) {
-  for (auto it = e->retired.rbegin(); it != e->retired.rend(); ++it) {
-    if (it->txn != txn && Conflicts(it->type, type)) {
-      it->dependents.emplace_back(txn, seq);
-      txn->commit_semaphore.fetch_add(1, std::memory_order_acq_rel);
-      txn->deps_taken++;
-      return !HolderCommitted(*it);
+AccessGrant LockManager::RawSnapshotRead(Row* row, TxnCB* txn,
+                                         char* read_buf) {
+  uint64_t snap = txn->raw_snapshot_cts.load(std::memory_order_relaxed);
+  if (snap == 0) {
+    // First raw read: pin the snapshot at the published CTS watermark.
+    // Every stamp at or below it is visible, and the base image can never
+    // be newer than the watermark, so a fresh pin can always be served.
+    snap = cts_counter_->load(std::memory_order_acquire);
+    txn->raw_snapshot_cts.store(snap, std::memory_order_relaxed);
+  }
+
+  // Newest committed image with cts <= snap: start from the base (when it
+  // is not already past the snapshot) and walk the committed chain prefix,
+  // whose stamps increase in chain order. A base newer than the snapshot
+  // falls back to the one retained pre-overwrite image.
+  const char* src = nullptr;
+  if (row->base_cts() <= snap) {
+    src = row->base();
+    for (const Version& v : row->chain()) {
+      uint64_t vcts = VersionCommitCts(v);
+      if (vcts == 0 || vcts > snap) break;
+      src = v.data.get();
+    }
+  } else if (row->SnapData() != nullptr && row->snap_cts() <= snap) {
+    src = row->SnapData();
+  }
+
+  AccessGrant a;
+  if (src == nullptr) {
+    // Overwritten at least twice since the pin: the snapshot image is
+    // gone. Serving anything newer would break cross-row consistency, so
+    // the reader aborts and retries on a fresh snapshot (it keeps its
+    // priority timestamp, so it cannot starve).
+    a.rc = AcqResult::kAbort;
+    return a;
+  }
+  std::memcpy(read_buf, src, row->size());
+  if (txn->stats != nullptr) txn->stats->raw_reads++;
+  a.rc = AcqResult::kGranted;
+  a.took_lock = false;
+  return a;
+}
+
+void LockManager::ValidateSnapshotObservation(Row* row, TxnCB* txn,
+                                              LockType type) {
+  (void)type;  // EX by a pinned transaction never reaches a grant
+  uint64_t snap = txn->raw_snapshot_cts.load(std::memory_order_relaxed);
+  if (snap == 0) return;  // no raw read yet: plain locked execution
+  // The image a locked read observes is the newest one. Uncommitted state
+  // will be stamped after the pin, i.e. outside the snapshot.
+  bool dirty = false;
+  uint64_t observed = row->base_cts();
+  if (!row->chain().empty()) {
+    uint64_t vcts = VersionCommitCts(row->chain().back());
+    if (vcts == 0) {
+      dirty = true;
+    } else {
+      observed = vcts;
     }
   }
-  return false;
+  if (dirty || observed > snap) {
+    txn->snapshot_invalid.store(true, std::memory_order_relaxed);
+  }
+}
+
+/// Register the commit dependencies for a grant: one edge to *every*
+/// conflicting retired entry. Registering only on the latest conflicting
+/// entry is not enough: transitivity through it fails when the entries in
+/// between do not conflict with each other (two retired readers are
+/// mutually unordered, so a writer barriered on the later reader alone
+/// could commit before the earlier one -- a real commit-order cycle, see
+/// TestStressSerializableHotspotRawRead). Grants are only issued when all
+/// conflicting uncommitted retired holders are older, so every edge still
+/// points younger -> older and the graph stays acyclic. Edges to already
+/// committed entries carry no cascade risk but still gate the commit on
+/// their release, which keeps version installs in chain order. Returns
+/// whether the grant consumes an uncommitted (dirty) state.
+bool LockManager::RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type,
+                                  uint64_t seq) {
+  bool dirty = false;
+  bool newest = true;
+  for (auto it = e->retired.rbegin(); it != e->retired.rend(); ++it) {
+    if (it->txn == txn || !Conflicts(it->type, type)) continue;
+    if (newest) {
+      dirty = !HolderCommitted(*it);
+      newest = false;
+    }
+    it->dependents.emplace_back(txn, seq);
+    txn->commit_semaphore.fetch_add(1, std::memory_order_acq_rel);
+    txn->deps_taken++;
+  }
+  return dirty;
 }
 
 AccessGrant LockManager::CompleteAcquire(Row* row, TxnCB* txn, LockType type,
@@ -370,9 +479,11 @@ AccessGrant LockManager::FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn,
   const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
   AccessGrant grant;
   grant.rc = AcqResult::kGranted;
+  ValidateSnapshotObservation(row, txn, type);
   grant.dirty = RegisterBarrier(e, txn, type, seq);
 
   if (type == LockType::kEX) {
+    txn->wrote_any.store(true, std::memory_order_relaxed);
     grant.write_data = row->PushVersion(txn, seq);
   } else {
     // Copy under the latch: the version could be popped by a committing
@@ -428,9 +539,16 @@ int LockManager::ReleaseLocked(Row* row, TxnCB* txn, bool committed) {
     if (!found) req = TakeReq(&e->retired, txn, seq, &found);
   }
   if (found) {
+    const bool track_cts =
+        cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read;
     if (req.type == LockType::kEX) {
       if (committed) {
-        row->CommitVersion(txn, seq);
+        // The committer drew its CTS before releasing, so the stamp is
+        // available here (0 only for test-driven manual commits, which
+        // keeps their rows' CTS bookkeeping inert).
+        row->CommitVersion(txn, seq,
+                           txn->commit_cts.load(std::memory_order_acquire),
+                           /*retain=*/track_cts);
       } else {
         row->AbortVersion(txn, seq);
       }
@@ -495,6 +613,8 @@ void LockManager::PromoteWaiters(LockEntry* e, Row* row) {
       // keep draining the queue: the next (younger) writer may queue right
       // behind this freshly retired one, so a whole chain of hotspot
       // updates completes in this single latch hold.
+      ValidateSnapshotObservation(row, t, LockType::kEX);
+      t->wrote_any.store(true, std::memory_order_relaxed);
       RegisterBarrier(e, t, LockType::kEX, granted.seq);
       char* data = row->PushVersion(t, granted.seq);
       granted.rmw_fn(data, granted.rmw_arg);

@@ -75,8 +75,14 @@ struct AccessGrant {
 /// manager itself never sleeps.
 class LockManager {
  public:
-  LockManager(const Config& cfg, std::atomic<uint64_t>* ts_counter)
-      : cfg_(cfg), ts_counter_(ts_counter) {}
+  /// `ts_counter` feeds wound-wait priority timestamps. `cts_counter` is
+  /// the *published* commit-timestamp watermark (CCManager::cts_stamped_,
+  /// advanced by PublishCts), only loaded here to pin Opt-3 raw-read
+  /// snapshots -- pinning from the allocation counter instead would race
+  /// with in-flight stamps (see DESIGN.md).
+  LockManager(const Config& cfg, std::atomic<uint64_t>* ts_counter,
+              std::atomic<uint64_t>* cts_counter)
+      : cfg_(cfg), ts_counter_(ts_counter), cts_counter_(cts_counter) {}
 
   /// Request `type` on `row`. For SH grants the current image (or the
   /// Opt-3 committed image) is copied into `read_buf` under the latch, so
@@ -141,6 +147,19 @@ class LockManager {
 
   static bool HolderCommitted(const LockReq& r);
 
+  /// Opt-3 raw read: serve the newest committed image with cts <= the
+  /// transaction's pinned snapshot (pinning it on first use). Returns
+  /// kGranted with took_lock = false, or kAbort when every eligible image
+  /// was already overwritten past the retained slot -- the reader can no
+  /// longer be served consistently and must retry on a fresh snapshot.
+  AccessGrant RawSnapshotRead(Row* row, TxnCB* txn, char* read_buf);
+  /// Snapshot validation for locked grants: once a transaction pinned a
+  /// raw-read snapshot, any image it observes under a lock must still be
+  /// inside that snapshot. Violations mark TxnCB::snapshot_invalid; commit
+  /// aborts on it. (Writes never reach this: a pinned transaction's EX
+  /// request aborts at the acquire -- pinned transactions are read-only.)
+  void ValidateSnapshotObservation(Row* row, TxnCB* txn, LockType type);
+
   /// Grant helpers; all run under the entry latch.
   bool RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type, uint64_t seq);
   AccessGrant FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn, LockType type,
@@ -152,6 +171,7 @@ class LockManager {
 
   const Config& cfg_;
   std::atomic<uint64_t>* ts_counter_;
+  std::atomic<uint64_t>* cts_counter_;
 };
 
 }  // namespace bamboo

@@ -56,6 +56,36 @@ struct alignas(64) TxnCB {
   /// promoted into the owners list (wait handshake).
   std::atomic<uint32_t> lock_granted{0};
 
+  // --- commit-timestamp (CTS) snapshot state for Opt-3 raw reads.
+  /// Commit timestamp, drawn from CCManager immediately *after* the status
+  /// CAS to kCommitted and then published in CTS order
+  /// (CCManager::PublishCts). 0 = not drawn yet; a reader that observes
+  /// kCommitted with commit_cts still 0 must treat the commit as newer
+  /// than any snapshot it pinned earlier -- snapshots pin the published
+  /// watermark, below which every stamp is already visible.
+  std::atomic<uint64_t> commit_cts{0};
+  /// CTS snapshot pinned at this transaction's first Opt-3 raw read
+  /// (0 = none). Every raw read serves the newest committed image with
+  /// cts <= raw_snapshot_cts, so raw reads across rows are mutually
+  /// consistent.
+  std::atomic<uint64_t> raw_snapshot_cts{0};
+  /// Set when a locked read after the snapshot pin observed state newer
+  /// than raw_snapshot_cts (or uncommitted state). Commit validates the
+  /// flag and aborts: the transaction can no longer be serialized at its
+  /// snapshot point.
+  std::atomic<bool> snapshot_invalid{false};
+  /// True once this attempt acquired any EX lock. A transaction that wrote
+  /// never pins a fresh snapshot, and a pinned transaction that tries to
+  /// write is aborted: pinned transactions are read-only, which is what
+  /// makes serializing them at the snapshot sound (their writes would have
+  /// to sit after later commits their raw reads ignored).
+  std::atomic<bool> wrote_any{false};
+  /// Sticky across retry attempts (cleared on a fresh transaction): set
+  /// when a pinned attempt died trying to write, so the retry skips the
+  /// raw path and takes the ordinary wound/wait route instead of aborting
+  /// on the same hot row forever.
+  bool raw_suppressed = false;
+
   // --- detached (pipelined) commit handshake.
   // A worker whose transaction finished its work but still has a nonzero
   // commit semaphore can hand the commit off instead of blocking: whoever
@@ -65,7 +95,10 @@ struct alignas(64) TxnCB {
   std::atomic<bool> detached{false};   ///< claim token (exchange to claim)
   void* detach_ctx = nullptr;          ///< the owning TxnHandle
   void (*detach_complete)(TxnCB*) = nullptr;
-  /// 0 = not detached, 1 = in flight, 2 = done-committed, 3 = done-aborted.
+  /// 0 = not detached, 1 = in flight, 2 = done-committed, 3 = done-aborted,
+  /// 4 = done-aborted and wounded >=1 dependent (cascade root; see
+  /// TxnHandle::CompleteDetached). Reclaimers treat 3 and 4 as aborts and
+  /// use 4 to count the cascade-event root.
   std::atomic<uint32_t> detach_state{0};
   /// Optional eventcount of the owning worker, bumped+notified when a
   /// detached outcome is published so a slot-starved worker wakes up.
@@ -80,11 +113,18 @@ struct alignas(64) TxnCB {
   ThreadStats* stats = nullptr;
 
   void ResetForAttempt(bool keep_ts) {
-    if (!keep_ts) ts.store(0, std::memory_order_relaxed);
+    if (!keep_ts) {
+      ts.store(0, std::memory_order_relaxed);
+      raw_suppressed = false;  // retries keep the suppression, like the ts
+    }
     status.store(TxnStatus::kRunning, std::memory_order_relaxed);
     commit_semaphore.store(0, std::memory_order_relaxed);
     abort_was_cascade.store(false, std::memory_order_relaxed);
     lock_granted.store(0, std::memory_order_relaxed);
+    commit_cts.store(0, std::memory_order_relaxed);
+    raw_snapshot_cts.store(0, std::memory_order_relaxed);
+    snapshot_invalid.store(false, std::memory_order_relaxed);
+    wrote_any.store(false, std::memory_order_relaxed);
     detached.store(false, std::memory_order_relaxed);
     detach_state.store(0, std::memory_order_relaxed);
     planned_ops = 0;

@@ -8,6 +8,36 @@
 
 namespace bamboo {
 
+namespace {
+
+// Word-wise relaxed-atomic row-image copy for the Silo seqlock. A reader
+// copies while a committing writer may be installing in place; the TID
+// recheck discards torn copies, but the accesses themselves must be atomic
+// or the copy is a data race (UB, and a TSan report). Images come from
+// new[] so the 8-byte strides are aligned.
+void SeqlockLoad(char* dst, const char* src, uint32_t size) {
+  uint32_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t w = __atomic_load_n(reinterpret_cast<const uint64_t*>(src + i),
+                                 __ATOMIC_RELAXED);
+    std::memcpy(dst + i, &w, 8);
+  }
+  for (; i < size; i++) dst[i] = __atomic_load_n(src + i, __ATOMIC_RELAXED);
+}
+
+void SeqlockStore(char* dst, const char* src, uint32_t size) {
+  uint32_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, src + i, 8);
+    __atomic_store_n(reinterpret_cast<uint64_t*>(dst + i), w,
+                     __ATOMIC_RELAXED);
+  }
+  for (; i < size; i++) __atomic_store_n(dst + i, src[i], __ATOMIC_RELAXED);
+}
+
+}  // namespace
+
 TxnHandle::TxnHandle(Database* db, TxnCB* txn)
     : db_(db), txn_(txn), cfg_(db->config()), lm_(db->cc()->locks()) {}
 
@@ -22,6 +52,7 @@ void TxnHandle::MaybeReset() {
   silo_writes_.clear();
   chunk_idx_ = 0;
   chunk_off_ = 0;
+  big_chunks_.clear();
 }
 
 TxnHandle::Access* TxnHandle::FindAccess(Row* row) {
@@ -42,6 +73,12 @@ void TxnHandle::NoteAccess(Row* row) {
 }
 
 char* TxnHandle::ArenaAlloc(uint32_t size) {
+  if (size > kChunkSize) {
+    // A row larger than a chunk gets its own dedicated allocation; packing
+    // it into the fixed-size chunks would write past the chunk end.
+    big_chunks_.emplace_back(new char[size]);
+    return big_chunks_.back().get();
+  }
   if (chunks_.empty()) chunks_.emplace_back(new char[kChunkSize]);
   if (chunk_off_ + size > kChunkSize) {
     chunk_idx_++;
@@ -279,6 +316,15 @@ RC TxnHandle::Commit(RC user_rc) {
     Rollback();
     return RC::kAbort;
   }
+  // Snapshot validation (Opt 3): a locked access after the first raw read
+  // observed state newer than the pinned snapshot, so the raw reads and
+  // the locked accesses cannot sit at one serialization point. The flag is
+  // only ever set by this transaction's own accesses, all of which happened
+  // before Commit, so checking once here is complete.
+  if (txn_->snapshot_invalid.load(std::memory_order_relaxed)) {
+    Rollback();
+    return RC::kAbort;
+  }
   if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
 
   TxnStatus expected = TxnStatus::kRunning;
@@ -331,6 +377,15 @@ RC TxnHandle::Commit(RC user_rc) {
     Rollback();
     return RC::kAbort;
   }
+  // Stamp the commit timestamp only now, after the point of no return:
+  // readers treat "kCommitted but unstamped" as outside their snapshot,
+  // which is correct because a snapshot pins the *published* watermark --
+  // every stamp at or below it is already visible. Only the raw-read
+  // configuration consumes commit timestamps; the baselines skip the draw
+  // so the in-order publication never serializes their commits.
+  if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read) {
+    db_->cc()->StampCommit(txn_);
+  }
   for (const Access& a : accesses_) {
     if (a.state == AccState::kSnapshot) continue;
     lm_->Release(a.row, txn_, /*committed=*/true);
@@ -347,7 +402,11 @@ void TxnHandle::CompleteDetached() {
   TxnStatus expected = TxnStatus::kCommitting;
   bool committed = txn_->status.compare_exchange_strong(
       expected, TxnStatus::kCommitted, std::memory_order_acq_rel);
-  if (!committed) {
+  if (committed) {
+    if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read) {
+      db_->cc()->StampCommit(txn_);
+    }
+  } else {
     // Wounded while detached: finish the rollback on its behalf.
     txn_->status.store(TxnStatus::kAborted, std::memory_order_release);
   }
@@ -380,7 +439,7 @@ char* TxnHandle::SiloStableCopy(Row* row, uint64_t* tid_out) {
       std::this_thread::yield();
       continue;
     }
-    std::memcpy(buf, row->base(), row->size());
+    SeqlockLoad(buf, row->base(), row->size());
     std::atomic_thread_fence(std::memory_order_acquire);
     uint64_t t2 = row->silo_tid.load(std::memory_order_acquire);
     if (t1 == t2) {
@@ -470,7 +529,7 @@ RC TxnHandle::SiloCommit_(RC user_rc) {
   }
   commit_tid++;
   for (const SiloWrite& w : silo_writes_) {
-    std::memcpy(w.row->base(), w.buf, w.row->size());
+    SeqlockStore(w.row->base(), w.buf, w.row->size());
     w.row->silo_tid.store(commit_tid, std::memory_order_release);
   }
   return RC::kOk;

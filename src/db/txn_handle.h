@@ -118,8 +118,10 @@ class TxnHandle {
   std::vector<SiloWrite> silo_writes_;
 
   // Chunked arena for transaction-local row copies; pointers are stable
-  // until the next attempt.
+  // until the next attempt. Rows larger than a chunk get dedicated
+  // allocations in big_chunks_ (freed on reset, not reused).
   std::vector<std::unique_ptr<char[]>> chunks_;
+  std::vector<std::unique_ptr<char[]>> big_chunks_;
   size_t chunk_idx_ = 0;
   size_t chunk_off_ = 0;
   static constexpr size_t kChunkSize = 1 << 16;

@@ -26,11 +26,18 @@ struct Version {
 /// A tuple: committed base image + dirty-version chain + the lock entry
 /// with the owners/retired/waiters queues.
 ///
-/// Concurrency contract: the version chain and base image are guarded by
-/// the lock entry's latch. Silo bypasses the chain and uses the `silo_tid`
-/// seqlock word instead. IC3-style column-level locking is modelled by
-/// vertical partitioning in the workload (one Row per column group), not
-/// by extra lock entries here.
+/// Commit-timestamp (CTS) bookkeeping for Opt-3 snapshot reads:
+///   - `base_cts` is the commit timestamp of the base image (0 for
+///     load-time data and for test-driven commits that never drew a CTS).
+///   - One previous committed image is retained on install (`snap_*`), so
+///     a raw reader whose snapshot predates the newest commit can still be
+///     served the image that commit overwrote.
+///
+/// Concurrency contract: the version chain, base image and all CTS fields
+/// are guarded by the lock entry's latch. Silo bypasses the chain and uses
+/// the `silo_tid` seqlock word instead. IC3-style column-level locking is
+/// modelled by vertical partitioning in the workload (one Row per column
+/// group), not by extra lock entries here.
 class Row {
  public:
   explicit Row(uint32_t size) : size_(size), base_(new char[size]()) {}
@@ -67,15 +74,26 @@ class Row {
     return nullptr;
   }
 
-  /// Commit `writer`'s version into the base image. Along a conflict chain
-  /// commits happen in chain order, so when the writer has a version it
-  /// must be the oldest. A writer that acquired EX but never wrote (no
-  /// version pushed) commits as a no-op.
-  void CommitVersion(const TxnCB* writer, uint64_t seq) {
+  /// Commit `writer`'s version into the base image and stamp it with the
+  /// writer's commit timestamp. Along a conflict chain commits happen in
+  /// chain order, so when the writer has a version it must be the oldest.
+  /// A writer that acquired EX but never wrote (no version pushed) commits
+  /// as a no-op. With `retain` (Bamboo + Opt 3) the overwritten base image
+  /// is kept in the one-slot snapshot buffer so a raw reader pinned before
+  /// this commit can still be served.
+  void CommitVersion(const TxnCB* writer, uint64_t seq, uint64_t cts,
+                     bool retain) {
     if (!chain_.empty() && chain_.front().writer == writer &&
         chain_.front().writer_seq == seq) {
+      if (retain && cts > base_cts_) {
+        if (!snap_data_) snap_data_.reset(new char[size_]);
+        std::memcpy(snap_data_.get(), base_.get(), size_);
+        snap_cts_ = base_cts_;
+        has_snap_ = true;
+      }
       std::memcpy(base_.get(), chain_.front().data.get(), size_);
       chain_.erase(chain_.begin());
+      if (cts > base_cts_) base_cts_ = cts;
       return;
     }
     assert(FindVersion(writer, seq) == nullptr);  // never commit out of order
@@ -92,6 +110,13 @@ class Row {
     }
   }
 
+  /// CTS of the committed base image (latch-guarded).
+  uint64_t base_cts() const { return base_cts_; }
+  /// Retained previous committed image, or nullptr when none was kept.
+  const char* SnapData() const { return has_snap_ ? snap_data_.get() : nullptr; }
+  /// CTS of the retained image (meaningful only when SnapData() != nullptr).
+  uint64_t snap_cts() const { return snap_cts_; }
+
   /// Silo TID word: bit 63 is the write lock, low bits the version counter.
   std::atomic<uint64_t> silo_tid{0};
   static constexpr uint64_t kSiloLockBit = 1ull << 63;
@@ -101,6 +126,12 @@ class Row {
   std::unique_ptr<char[]> base_;
   std::vector<Version> chain_;
   LockEntry lock_;
+
+  // --- CTS bookkeeping (all guarded by the lock entry's latch)
+  uint64_t base_cts_ = 0;
+  std::unique_ptr<char[]> snap_data_;  ///< lazily allocated retained image
+  uint64_t snap_cts_ = 0;
+  bool has_snap_ = false;
 };
 
 }  // namespace bamboo

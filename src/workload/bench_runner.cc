@@ -69,6 +69,9 @@ void WorkerLoop(Database* db, Workload* workload, SharedState* shared,
   struct Retry {
     uint64_t seed;
     uint64_t ts;  ///< kept so cascade victims age instead of starving
+    /// Kept like the ts: a requeued attempt that died writing after a raw
+    /// read must not re-pin on the same hot row (anti-livelock).
+    bool raw_suppressed;
   };
   std::vector<std::unique_ptr<TxnSlot>>& slots = ctx->slots;
   std::vector<TxnSlot*> free_slots;
@@ -92,8 +95,8 @@ void WorkerLoop(Database* db, Workload* workload, SharedState* shared,
           if (was_cascade) stats.cascade_victims++;
           if (st == 4u && !was_cascade) stats.cascade_events++;
         }
-        retries.push_back(
-            {s->seed, s->cb.ts.load(std::memory_order_relaxed)});
+        retries.push_back({s->seed, s->cb.ts.load(std::memory_order_relaxed),
+                           s->cb.raw_suppressed});
       } else {
         continue;
       }
@@ -132,9 +135,11 @@ void WorkerLoop(Database* db, Workload* workload, SharedState* shared,
 
     uint64_t txn_seed;
     uint64_t keep_ts = 0;
+    bool keep_suppressed = false;
     if (!retries.empty()) {
       txn_seed = retries.back().seed;
       keep_ts = retries.back().ts;
+      keep_suppressed = retries.back().raw_suppressed;
       retries.pop_back();
     } else {
       txn_seed = rng.Next();
@@ -147,8 +152,10 @@ void WorkerLoop(Database* db, Workload* workload, SharedState* shared,
       slot->cb.txn_seq.fetch_add(1, std::memory_order_relaxed);
       slot->cb.ResetForAttempt(/*keep_ts=*/retry);
       if (keep_ts != 0 && !retry) {
-        // Requeued cascade victim: restore its old timestamp so it ages.
+        // Requeued cascade victim: restore its old timestamp so it ages,
+        // and its raw suppression so it cannot re-pin into the same abort.
         slot->cb.ts.store(keep_ts, std::memory_order_relaxed);
+        slot->cb.raw_suppressed = keep_suppressed;
       }
       db->cc()->Begin(&slot->cb);
       uint64_t t0 = NowNs();

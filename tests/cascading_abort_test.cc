@@ -22,7 +22,8 @@ void TestRetiredWriterAbortCascades() {
   cfg.protocol = Protocol::kBamboo;
   cfg.bb_opt_raw_read = false;
   std::atomic<uint64_t> ts{0};
-  LockManager lm(cfg, &ts);
+  std::atomic<uint64_t> cts{1};
+  LockManager lm(cfg, &ts, &cts);
   Row row(8);
   char buf[8];
 
@@ -59,7 +60,8 @@ void TestCommitDependenciesDrainInOrder() {
   Config cfg;
   cfg.protocol = Protocol::kBamboo;
   std::atomic<uint64_t> ts{0};
-  LockManager lm(cfg, &ts);
+  std::atomic<uint64_t> cts{1};
+  LockManager lm(cfg, &ts, &cts);
   Row row(8);
   char buf[8];
 
@@ -85,7 +87,7 @@ void TestCommitDependenciesDrainInOrder() {
   g = lm.Acquire(&row, &r, LockType::kSH, buf);
   CHECK(g.rc == AcqResult::kGranted);
   CHECK_EQ(*reinterpret_cast<uint64_t*>(buf), 2u);  // newest dirty version
-  CHECK_EQ(r.commit_semaphore.load(), 1);           // barrier is W2 only
+  CHECK_EQ(r.commit_semaphore.load(), 2);  // one edge per conflicting writer
 
   // Commits drain in timestamp (= retired list) order: W1 first.
   w1.status.store(TxnStatus::kCommitted);
@@ -113,14 +115,16 @@ void TestCommitDependenciesDrainInOrder() {
 // different from the invariant is a serializability violation. Dirty reads
 // are allowed while running -- but a reader that consumed an aborted
 // writer's version must itself be cascade-aborted, never commit.
-void TestStressSerializableHotspot() {
+//
+// Runs twice: with Opt 3 (raw reads) off and on. The on-configuration is
+// the full four-optimization setup every Bamboo bench measures; it stays
+// strictly serializable because raw reads serve a commit-timestamp
+// snapshot pinned at the reader's first raw read.
+void StressSerializableHotspot(bool raw_read) {
   Config cfg;
   cfg.protocol = Protocol::kBamboo;
   cfg.num_threads = 4;
-  // Opt 3 serves older readers a committed snapshot per row, which relaxes
-  // cross-row strictness; the serializability assertion targets the
-  // retire/cascade machinery, so pin it off here (see DESIGN.md).
-  cfg.bb_opt_raw_read = false;
+  cfg.bb_opt_raw_read = raw_read;
 
   Database db(cfg);
   Schema schema;
@@ -137,6 +141,7 @@ void TestStressSerializableHotspot() {
   std::atomic<uint64_t> violations{0};
   std::atomic<uint64_t> reader_commits{0};
   std::atomic<uint64_t> writer_commits{0};
+  std::atomic<uint64_t> raw_reads{0};
 
   auto worker = [&](int id) {
     ThreadStats stats;
@@ -152,20 +157,35 @@ void TestStressSerializableHotspot() {
       if (is_reader) {
         txn.planned_ops = 3;
         uint64_t total = 0;
+        uint64_t vals[3] = {0, 0, 0};
+        bool raw[3] = {false, false, false};
         bool ok = true;
         for (uint64_t k = 0; k < 3 && ok; k++) {
           const char* data = nullptr;
+          uint64_t raw_before = stats.raw_reads;
           ok = h.Read(index, k, &data) == RC::kOk;
           if (ok) {
             uint64_t v;
             std::memcpy(&v, data, 8);
+            vals[k] = v;
+            raw[k] = stats.raw_reads != raw_before;
             total += v;
           }
         }
         RC rc = h.Commit(ok ? RC::kOk : RC::kAbort);
         if (rc == RC::kOk) {
           reader_commits.fetch_add(1);
-          if (total != 3 * kInitial) violations.fetch_add(1);
+          if (total != 3 * kInitial) {
+            violations.fetch_add(1);
+            std::printf(
+                "  VIOLATION total=%llu vals=%llu/%llu/%llu raw=%d%d%d "
+                "snap=%llu sem=%lld\n",
+                (unsigned long long)total, (unsigned long long)vals[0],
+                (unsigned long long)vals[1], (unsigned long long)vals[2],
+                raw[0], raw[1], raw[2],
+                (unsigned long long)txn.raw_snapshot_cts.load(),
+                (long long)txn.commit_semaphore.load());
+          }
         }
       } else {
         txn.planned_ops = 2;
@@ -196,6 +216,7 @@ void TestStressSerializableHotspot() {
         }
       }
     }
+    raw_reads.fetch_add(stats.raw_reads);
   };
 
   std::vector<std::thread> threads;
@@ -217,9 +238,301 @@ void TestStressSerializableHotspot() {
     total += v;
   }
   CHECK_EQ(total, 3 * kInitial);
-  std::printf("  stress: %llu reader / %llu writer commits\n",
+  std::printf("  stress(raw_read=%d): %llu reader / %llu writer commits, "
+              "%llu raw reads\n",
+              raw_read ? 1 : 0,
               static_cast<unsigned long long>(reader_commits.load()),
-              static_cast<unsigned long long>(writer_commits.load()));
+              static_cast<unsigned long long>(writer_commits.load()),
+              static_cast<unsigned long long>(raw_reads.load()));
+}
+
+void TestStressSerializableHotspot() { StressSerializableHotspot(false); }
+void TestStressSerializableHotspotRawRead() { StressSerializableHotspot(true); }
+
+// --- Opt-3 cross-row snapshot unit tests -----------------------------------
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+void WriteU64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+/// Start an attempt the way the bench runner does, then force a priority
+/// timestamp so the wound-wait decisions in the scenario are deterministic.
+void BeginWithTs(Database* db, TxnCB* cb, uint64_t ts) {
+  cb->txn_seq.fetch_add(1, std::memory_order_relaxed);
+  cb->ResetForAttempt(false);
+  db->cc()->Begin(cb);
+  cb->ts.store(ts, std::memory_order_relaxed);
+}
+
+/// The cross-row anomaly the per-row Opt 3 allowed: a reader raw-reads row
+/// A *before* writer W commits and row B *after*, observing half of W's
+/// transfer. With the snapshot rule the second read still goes through (it
+/// is an ordinary locked read) but poisons the reader's snapshot, so the
+/// reader must abort instead of committing the broken total.
+void TestRawReadCrossRowSnapshotForbidsAnomaly() {
+  Config cfg;
+  cfg.protocol = Protocol::kBamboo;  // all four optimizations on
+  Database db(cfg);
+  Schema schema;
+  schema.AddColumn("balance", 8);
+  Table* table = db.catalog()->CreateTable("acct", schema);
+  HashIndex* index = db.catalog()->CreateIndex("acct_pk", 2);
+  for (uint64_t k = 0; k < 2; k++) {
+    WriteU64(db.LoadRow(table, index, k)->base(), 1000);
+  }
+
+  TxnCB wcb, rcb;
+  ThreadStats wstats, rstats;
+  wcb.stats = &wstats;
+  rcb.stats = &rstats;
+  TxnHandle w(&db, &wcb), r(&db, &rcb);
+  BeginWithTs(&db, &wcb, 2);
+  BeginWithTs(&db, &rcb, 1);  // the reader is older: raw reads may fire
+
+  // W moves 100 from row 0 to row 1; both writes retire (early release).
+  char* d = nullptr;
+  CHECK(w.Update(index, 0, &d) == RC::kOk);
+  WriteU64(d, 900);
+  w.WriteDone();
+  CHECK(w.Update(index, 1, &d) == RC::kOk);
+  WriteU64(d, 1100);
+  w.WriteDone();
+
+  // The older reader's first read is served raw: the committed pre-W image
+  // of row 0, and a snapshot pin.
+  const char* rd = nullptr;
+  CHECK(r.Read(index, 0, &rd) == RC::kOk);
+  CHECK_EQ(ReadU64(rd), 1000u);
+  CHECK_EQ(rstats.raw_reads, 1u);
+  CHECK(rcb.raw_snapshot_cts.load() != 0);
+
+  // W commits and releases: both rows now hold post-transfer values.
+  CHECK(w.Commit(RC::kOk) == RC::kOk);
+
+  // Row 1 no longer has any retired writer, so the reader takes a normal
+  // locked read and observes state newer than its snapshot...
+  CHECK(r.Read(index, 1, &rd) == RC::kOk);
+  CHECK_EQ(ReadU64(rd), 1100u);  // the half-transfer view: total would be 2100
+  // ...which the snapshot rule catches at commit. The old per-row behavior
+  // committed here, which is exactly the serializability hole.
+  CHECK(r.Commit(RC::kOk) == RC::kAbort);
+}
+
+/// The consistent side of the rule: when the image a snapshot needs is
+/// still reachable -- committed base, or the one retained pre-overwrite
+/// image -- raw reads across rows serve one commit-timestamp snapshot and
+/// the reader commits fine.
+void TestRawReadServesConsistentSnapshot() {
+  Config cfg;
+  cfg.protocol = Protocol::kBamboo;
+  Database db(cfg);
+  Schema schema;
+  schema.AddColumn("balance", 8);
+  Table* table = db.catalog()->CreateTable("acct", schema);
+  HashIndex* index = db.catalog()->CreateIndex("acct_pk", 2);
+  for (uint64_t k = 0; k < 2; k++) {
+    WriteU64(db.LoadRow(table, index, k)->base(), 1000);
+  }
+
+  TxnCB rcb, w1cb, w2cb, w3cb;
+  ThreadStats rstats, w1stats, w2stats, w3stats;
+  rcb.stats = &rstats;
+  w1cb.stats = &w1stats;
+  w2cb.stats = &w2stats;
+  w3cb.stats = &w3stats;
+  TxnHandle r(&db, &rcb), w1(&db, &w1cb), w2(&db, &w2cb), w3(&db, &w3cb);
+  BeginWithTs(&db, &rcb, 1);
+  BeginWithTs(&db, &w1cb, 2);
+  BeginWithTs(&db, &w2cb, 3);
+  BeginWithTs(&db, &w3cb, 4);
+
+  // W1 retires an uncommitted write on row 0 so the reader's first read is
+  // raw (and pins the snapshot).
+  char* d = nullptr;
+  CHECK(w1.Update(index, 0, &d) == RC::kOk);
+  WriteU64(d, 900);
+  w1.WriteDone();
+  const char* rd = nullptr;
+  CHECK(r.Read(index, 0, &rd) == RC::kOk);
+  CHECK_EQ(ReadU64(rd), 1000u);
+  CHECK_EQ(rstats.raw_reads, 1u);
+
+  // W2 commits a write to row 1 *after* the pin: the base moves past the
+  // snapshot, but the overwritten image is retained.
+  CHECK(w2.Update(index, 1, &d) == RC::kOk);
+  WriteU64(d, 1100);
+  w2.WriteDone();
+  CHECK(w2.Commit(RC::kOk) == RC::kOk);
+
+  // W3 retires another uncommitted write on row 1, so the reader's second
+  // read takes the raw path again -- and is served the retained
+  // pre-snapshot image, not W2's newer base.
+  CHECK(w3.Update(index, 1, &d) == RC::kOk);
+  WriteU64(d, 1200);
+  w3.WriteDone();
+  CHECK(r.Read(index, 1, &rd) == RC::kOk);
+  CHECK_EQ(ReadU64(rd), 1000u);
+  CHECK_EQ(rstats.raw_reads, 2u);
+
+  // Both raw reads sit at one snapshot: the total is consistent and the
+  // reader commits.
+  CHECK(r.Commit(RC::kOk) == RC::kOk);
+
+  // Cleanup: the pending writers commit; final balances are theirs.
+  CHECK(w1.Commit(RC::kOk) == RC::kOk);
+  CHECK(w3.Commit(RC::kOk) == RC::kOk);
+  CHECK_EQ(ReadU64(index->Get(0)->base()), 900u);
+  CHECK_EQ(ReadU64(index->Get(1)->base()), 1200u);
+}
+
+/// Pinned transactions are read-only. A write after a raw read would have
+/// to serialize after commits the raw reads ignored (footprint-free raw
+/// reads make that write skew invisible to any per-row check), so the
+/// write aborts at the acquire -- without wounding anyone -- and the
+/// retry skips the raw path; symmetrically, a transaction that already
+/// wrote never pins a snapshot.
+void TestRawReadMakesTransactionReadOnly() {
+  Config cfg;
+  cfg.protocol = Protocol::kBamboo;
+  Database db(cfg);
+  Schema schema;
+  schema.AddColumn("balance", 8);
+  Table* table = db.catalog()->CreateTable("acct", schema);
+  HashIndex* index = db.catalog()->CreateIndex("acct_pk", 2);
+  for (uint64_t k = 0; k < 2; k++) {
+    WriteU64(db.LoadRow(table, index, k)->base(), 1000);
+  }
+  const uint64_t kX = 0, kY = 1;
+  LockManager* lm = db.cc()->locks();
+  Row* row_y = index->Get(kY);
+
+  TxnCB wcb, w2cb, w3cb;
+  ThreadStats wstats, w2stats, w3stats;
+  wcb.stats = &wstats;
+  w2cb.stats = &w2stats;
+  w3cb.stats = &w3stats;
+  TxnHandle w(&db, &wcb), w2(&db, &w2cb), w3(&db, &w3cb);
+  BeginWithTs(&db, &wcb, 1);   // oldest: its Y read takes the raw path
+  BeginWithTs(&db, &w2cb, 4);  // youngest uncommitted writer on Y
+
+  // W2 retires an uncommitted write on Y; W raw-reads it and pins.
+  char* d = nullptr;
+  CHECK(w2.Update(index, kY, &d) == RC::kOk);
+  WriteU64(d, 1100);
+  w2.WriteDone();
+  const char* rd = nullptr;
+  CHECK(w.Read(index, kY, &rd) == RC::kOk);
+  CHECK_EQ(ReadU64(rd), 1000u);
+  CHECK_EQ(wstats.raw_reads, 1u);
+
+  // The pinned W tries to write X: immediate abort, nobody wounded, and
+  // the raw path is suppressed for the retry.
+  CHECK(w.Update(index, kX, &d) == RC::kAbort);
+  CHECK(wcb.IsAborted());
+  CHECK(w2cb.status.load() != TxnStatus::kAborted);
+  CHECK(wcb.raw_suppressed);
+  CHECK(w.Commit(RC::kAbort) == RC::kAbort);  // roll the attempt back
+
+  // Retry (timestamp and suppression kept): the same read now takes the
+  // ordinary wound/wait route -- the younger retired writer gets wounded
+  // and the reader waits instead of being served raw.
+  wcb.txn_seq.fetch_add(1, std::memory_order_relaxed);
+  wcb.ResetForAttempt(/*keep_ts=*/true);
+  db.cc()->Begin(&wcb);
+  char buf[8];
+  AccessGrant g = lm->Acquire(row_y, &wcb, LockType::kSH, buf);
+  CHECK(g.rc == AcqResult::kWait);
+  CHECK_EQ(wstats.raw_reads, 1u);  // no new raw read
+  CHECK(w2cb.status.load() == TxnStatus::kAborted);
+  lm->Release(row_y, &wcb, /*committed=*/false);  // drop the waiting request
+  CHECK(w2.Commit(RC::kOk) == RC::kAbort);        // wounded: rolls back
+
+  // A transaction that already wrote never pins: its read behind an
+  // uncommitted younger retired writer goes to the waiters, not raw.
+  BeginWithTs(&db, &w2cb, 4);
+  CHECK(w2.Update(index, kY, &d) == RC::kOk);
+  w2.WriteDone();
+  BeginWithTs(&db, &w3cb, 3);
+  CHECK(w3.Update(index, kX, &d) == RC::kOk);
+  w3.WriteDone();
+  g = lm->Acquire(row_y, &w3cb, LockType::kSH, buf);
+  CHECK(g.rc == AcqResult::kWait);
+  CHECK_EQ(w3stats.raw_reads, 0u);
+  CHECK_EQ(w3cb.raw_snapshot_cts.load(), 0u);
+  lm->Release(row_y, &w3cb, /*committed=*/false);
+  CHECK(w3.Commit(RC::kAbort) == RC::kAbort);
+  CHECK(w2.Commit(RC::kOk) == RC::kAbort);  // wounded by w3's fall-through
+}
+
+/// When even the retained image is gone (two commits landed on the row
+/// since the pin), the raw path must refuse: the reader aborts -- without
+/// wounding the younger retired writer -- and retries on a fresh snapshot.
+void TestRawReadAbortsWhenSnapshotImageGone() {
+  Config cfg;
+  cfg.protocol = Protocol::kBamboo;
+  std::atomic<uint64_t> ts{0};
+  std::atomic<uint64_t> cts{1};
+  LockManager lm(cfg, &ts, &cts);
+  Row row_a(8), row_b(8);
+  char buf[8];
+
+  TxnCB reader, wa, wb, wc, wd;
+  ThreadStats rstats;
+  reader.stats = &rstats;
+  reader.ts.store(1);
+  wa.ts.store(2);
+  wb.ts.store(3);
+  wc.ts.store(4);
+  wd.ts.store(5);
+
+  // Manual commit: stamp the CTS the way TxnHandle::Commit does, then
+  // release so the stamp lands on the row.
+  auto commit_on = [&](TxnCB* t, Row* row) {
+    t->status.store(TxnStatus::kCommitted);
+    t->commit_cts.store(cts.fetch_add(1) + 1);
+    lm.Release(row, t, /*committed=*/true);
+  };
+
+  // Pin the reader's snapshot with a raw read on row A (behind wa's
+  // uncommitted retired write).
+  AccessGrant g = lm.Acquire(&row_a, &wa, LockType::kEX, buf);
+  CHECK(g.rc == AcqResult::kGranted);
+  lm.Retire(&row_a, &wa);
+  g = lm.Acquire(&row_a, &reader, LockType::kSH, buf);
+  CHECK(g.rc == AcqResult::kGranted);
+  CHECK(!g.took_lock);
+  CHECK_EQ(rstats.raw_reads, 1u);
+  const uint64_t snap = reader.raw_snapshot_cts.load();
+  CHECK(snap != 0);
+
+  // Two commits land on row B after the pin: base and the retained image
+  // are both newer than the snapshot now.
+  g = lm.Acquire(&row_b, &wb, LockType::kEX, buf);
+  lm.Retire(&row_b, &wb);
+  commit_on(&wb, &row_b);
+  g = lm.Acquire(&row_b, &wc, LockType::kEX, buf);
+  lm.Retire(&row_b, &wc);
+  commit_on(&wc, &row_b);
+  CHECK(row_b.base_cts() > snap);
+  CHECK(row_b.snap_cts() > snap);
+
+  // A third, uncommitted retired writer makes the reader's request take
+  // the raw path -- which must now refuse and abort the reader.
+  g = lm.Acquire(&row_b, &wd, LockType::kEX, buf);
+  lm.Retire(&row_b, &wd);
+  g = lm.Acquire(&row_b, &reader, LockType::kSH, buf);
+  CHECK(g.rc == AcqResult::kAbort);
+  // The younger retired writer was not wounded: refusing the snapshot is
+  // the reader's problem, not the writer's.
+  CHECK(wd.status.load() != TxnStatus::kAborted);
+
+  // Cleanup.
+  lm.Release(&row_a, &wa, /*committed=*/false);
+  lm.Release(&row_b, &wd, /*committed=*/false);
 }
 
 }  // namespace
@@ -229,6 +542,11 @@ int main() {
   using namespace bamboo;
   RUN_TEST(TestRetiredWriterAbortCascades);
   RUN_TEST(TestCommitDependenciesDrainInOrder);
+  RUN_TEST(TestRawReadCrossRowSnapshotForbidsAnomaly);
+  RUN_TEST(TestRawReadServesConsistentSnapshot);
+  RUN_TEST(TestRawReadMakesTransactionReadOnly);
+  RUN_TEST(TestRawReadAbortsWhenSnapshotImageGone);
   RUN_TEST(TestStressSerializableHotspot);
+  RUN_TEST(TestStressSerializableHotspotRawRead);
   return bamboo::test::Summary("cascading_abort_test");
 }

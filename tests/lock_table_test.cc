@@ -14,12 +14,13 @@ namespace {
 struct Fixture {
   explicit Fixture(Protocol p) {
     cfg.protocol = p;
-    lm = new LockManager(cfg, &ts_counter);
+    lm = new LockManager(cfg, &ts_counter, &cts_counter);
   }
   ~Fixture() { delete lm; }
 
   Config cfg;
   std::atomic<uint64_t> ts_counter{0};
+  std::atomic<uint64_t> cts_counter{1};  // CTS authority starts at 1
   LockManager* lm;
   Row row{8};
   char buf[8];

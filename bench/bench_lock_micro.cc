@@ -41,6 +41,22 @@ class LockMicro {
   TxnCB txn_;
 };
 
+/// Publish the lock-table hot-path counters (latch contention, dependent
+/// spills) per transaction, so before/after runs compare the constant
+/// factors directly. (The fixture counts iterations, not commits: the
+/// runner-side commit counter is not bumped by raw TxnHandle use.)
+void ReportHotPathCounters(benchmark::State& state, const ThreadStats& s) {
+  double txns = state.iterations() > 0
+                    ? static_cast<double>(state.iterations())
+                    : 1.0;
+  state.counters["latch_spins/txn"] =
+      static_cast<double>(s.latch_spins) / txns;
+  state.counters["latch_waits/txn"] =
+      static_cast<double>(s.latch_waits) / txns;
+  state.counters["pool_spills/txn"] =
+      static_cast<double>(s.pool_spills) / txns;
+}
+
 void BM_AcquireReleaseSh(benchmark::State& state) {
   LockMicro m(Protocol::kBamboo);
   TxnHandle handle(m.db_.get(), &m.txn_);
@@ -54,6 +70,7 @@ void BM_AcquireReleaseSh(benchmark::State& state) {
     handle.Commit(RC::kOk);
     key = (key + 1) % LockMicro::kRows;
   }
+  ReportHotPathCounters(state, m.stats_);
 }
 BENCHMARK(BM_AcquireReleaseSh);
 
@@ -71,6 +88,7 @@ void BM_AcquireRetireReleaseEx(benchmark::State& state) {
     handle.Commit(RC::kOk);
     key = (key + 1) % LockMicro::kRows;
   }
+  ReportHotPathCounters(state, m.stats_);
 }
 BENCHMARK(BM_AcquireRetireReleaseEx);
 
@@ -89,6 +107,7 @@ void BM_AcquireReleaseExNoRetire(benchmark::State& state) {
     handle.Commit(RC::kOk);
     key = (key + 1) % LockMicro::kRows;
   }
+  ReportHotPathCounters(state, m.stats_);
 }
 BENCHMARK(BM_AcquireReleaseExNoRetire);
 
@@ -116,6 +135,7 @@ void BM_Txn16Ops(benchmark::State& state) {
     }
     handle.Commit(RC::kOk);
   }
+  ReportHotPathCounters(state, m.stats_);
 }
 BENCHMARK(BM_Txn16Ops);
 
@@ -141,6 +161,43 @@ void BM_SiloTxn16Ops(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SiloTxn16Ops);
+
+void BM_RetiredDependencyChain(benchmark::State& state) {
+  // The contended-hotspot primitive: a writer retires an uncommitted
+  // update, a reader consumes it dirty (dependent registration + commit
+  // semaphore), then both release in commit order. Exercises the retired
+  // list, DepPush/drain, and the promote path -- the operations the
+  // intrusive-queue/pool rework targets.
+  LockMicro m(Protocol::kBamboo);
+  LockManager* lm = m.db_->cc()->locks();
+  Row* row = m.index_->Get(0);
+  TxnCB writer, reader;
+  writer.stats = &m.stats_;
+  reader.stats = &m.stats_;
+  char buf[8];
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    seq++;
+    writer.txn_seq.store(seq, std::memory_order_relaxed);
+    writer.ResetForAttempt(false);
+    writer.ts.store(1, std::memory_order_relaxed);
+    reader.txn_seq.store(seq, std::memory_order_relaxed);
+    reader.ResetForAttempt(false);
+    reader.ts.store(2, std::memory_order_relaxed);
+
+    AccessGrant g = lm->Acquire(row, &writer, LockType::kEX, buf);
+    benchmark::DoNotOptimize(g.write_data);
+    lm->Retire(row, &writer);
+    g = lm->Acquire(row, &reader, LockType::kSH, buf);
+    benchmark::DoNotOptimize(g.dirty);
+    writer.status.store(TxnStatus::kCommitted, std::memory_order_release);
+    lm->Release(row, &writer, /*committed=*/true);
+    reader.status.store(TxnStatus::kCommitted, std::memory_order_release);
+    lm->Release(row, &reader, /*committed=*/true);
+  }
+  ReportHotPathCounters(state, m.stats_);
+}
+BENCHMARK(BM_RetiredDependencyChain);
 
 void BM_IndexGet(benchmark::State& state) {
   LockMicro m(Protocol::kBamboo);

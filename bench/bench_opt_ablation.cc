@@ -34,7 +34,8 @@ int main() {
   TablePrinter tbl(
       "Bamboo optimization ablation, YCSB theta=0.9 rr=0.5",
       {"variant", "throughput(txn/s)", "abort_rate", "dirty_reads/txn",
-       "raw_reads/txn", "breakdown(ms/txn)"});
+       "raw_reads/txn", "latch_spins/txn", "latch_waits/txn",
+       "pool_spills/txn", "breakdown(ms/txn)"});
   for (const Variant& v : variants) {
     Config cfg = opt.BaseConfig();
     cfg.protocol = Protocol::kBamboo;
@@ -53,7 +54,10 @@ int main() {
     };
     tbl.AddRow({v.name, FmtThroughput(r), Fmt(r.AbortRate(), 3),
                 Fmt(per_txn(r.total.dirty_reads), 2),
-                Fmt(per_txn(r.total.raw_reads), 2), FmtBreakdown(r)});
+                Fmt(per_txn(r.total.raw_reads), 2),
+                Fmt(per_txn(r.total.latch_spins), 2),
+                Fmt(per_txn(r.total.latch_waits), 2),
+                Fmt(per_txn(r.total.pool_spills), 3), FmtBreakdown(r)});
   }
   tbl.Print("each optimization contributes; opt3 matters most on "
             "read-write mixes (RAW aborts), opt4 reduces first-conflict "

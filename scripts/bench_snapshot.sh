@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Emit a JSON snapshot of the headline throughput numbers so every PR can
+# extend the perf trajectory: single-hotspot (8 threads, all protocols'
+# headline BAMBOO row) and the lock-table microbenchmarks.
+# Usage: scripts/bench_snapshot.sh [build-dir] [out.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_pr4.json}"
+
+if [ ! -x "$BUILD_DIR/bench_single_hotspot" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+fi
+
+DUR="${BB_BENCH_DURATION:-0.4}"
+WARM="${BB_BENCH_WARMUP:-0.08}"
+
+# First BAMBOO/WOUND_WAIT rows are the stored-procedure table.
+hot_out=$(BB_BENCH_DURATION="$DUR" BB_BENCH_WARMUP="$WARM" \
+          "$BUILD_DIR/bench_single_hotspot")
+to_num='{v=$2; u=substr(v,length(v),1); n=v+0;
+         if (u=="k") n*=1e3; else if (u=="M") n*=1e6;
+         printf "%.0f", n; exit}'
+bamboo_tput=$(printf '%s\n' "$hot_out" | awk '$1=="BAMBOO"'" $to_num")
+ww_tput=$(printf '%s\n' "$hot_out" | awk '$1=="WOUND_WAIT"'" $to_num")
+
+# Lock-table microbenchmarks (ns/op), when google-benchmark is available.
+sh_ns=null; ex_ns=null; txn16_ns=null
+if [ -x "$BUILD_DIR/bench_lock_micro" ]; then
+  micro_out=$("$BUILD_DIR/bench_lock_micro" --benchmark_min_time=0.2 \
+              --benchmark_filter='BM_AcquireReleaseSh|BM_AcquireRetireReleaseEx|BM_Txn16Ops' \
+              2>/dev/null)
+  pick='{print $2+0; exit}'
+  sh_ns=$(printf '%s\n' "$micro_out" | awk '$1=="BM_AcquireReleaseSh"'" $pick")
+  ex_ns=$(printf '%s\n' "$micro_out" | awk '$1=="BM_AcquireRetireReleaseEx"'" $pick")
+  txn16_ns=$(printf '%s\n' "$micro_out" | awk '$1=="BM_Txn16Ops"'" $pick")
+  [ -n "$sh_ns" ] || sh_ns=null
+  [ -n "$ex_ns" ] || ex_ns=null
+  [ -n "$txn16_ns" ] || txn16_ns=null
+fi
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+cat > "$OUT" <<EOF
+{
+  "commit": "$commit",
+  "date": "$stamp",
+  "bench_duration_s": $DUR,
+  "single_hotspot_8t": {
+    "bamboo_txn_per_s": ${bamboo_tput:-null},
+    "wound_wait_txn_per_s": ${ww_tput:-null}
+  },
+  "lock_micro_ns": {
+    "acquire_release_sh": $sh_ns,
+    "acquire_retire_release_ex": $ex_ns,
+    "txn_16_ops": $txn16_ns
+  }
+}
+EOF
+echo "wrote $OUT"
+cat "$OUT"

@@ -1,11 +1,33 @@
 #ifndef BAMBOO_SRC_COMMON_PLATFORM_H_
 #define BAMBOO_SRC_COMMON_PLATFORM_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <thread>
 
+#if __has_include(<sys/single_threaded.h>)
+#include <sys/single_threaded.h>
+#define BAMBOO_HAVE_SINGLE_THREADED 1
+#endif
+
 namespace bamboo {
+
+/// True while the process has never had a second thread (glibc exports the
+/// flag it uses for the same shortcut inside pthread_mutex). A locked RMW
+/// costs ~6 ns on virtualized cores; a single-threaded process needs none.
+inline bool ProcessIsSingleThreaded() {
+#ifdef BAMBOO_HAVE_SINGLE_THREADED
+  return __libc_single_threaded;
+#else
+  return false;
+#endif
+}
+
+/// Destination alignment for anything two threads hammer concurrently
+/// (lock entries, latch words, per-worker stats): one line per writer
+/// kills false sharing.
+inline constexpr std::size_t kCacheLineSize = 64;
 
 inline uint64_t NowNs() {
   return static_cast<uint64_t>(
@@ -13,6 +35,102 @@ inline uint64_t NowNs() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+/// Polite spin-loop body: tells the core (and an SMT sibling) that we are
+/// busy-waiting without giving up the time slice.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Spin-then-park latch for the per-tuple lock entries.
+///
+/// The paper's queue operations are tens of nanoseconds, so the common
+/// contended case resolves within a short exponential-backoff spin
+/// (2^0..2^(kSpinRounds-1) pauses, sub-microsecond total). Only after the
+/// spin budget is exhausted does the thread park on the latch word -- a
+/// futex on Linux via std::atomic::wait -- which matters when threads
+/// outnumber cores and the holder got preempted mid-critical-section.
+///
+/// Protocol (Drepper, "Futexes Are Tricky"): 0 = free, 1 = locked,
+/// 2 = locked with (possible) parked waiters. A thread that ever parked
+/// acquires with 2, so Unlock degrades conservatively and no wakeup is
+/// lost. The word is the only state: sizeof(SpinLatch) == 4.
+class SpinLatch {
+ public:
+  /// `spins`/`waits` (optional) accumulate the backoff rounds taken and
+  /// the number of futex parks -- wired to ThreadStats::latch_spins /
+  /// latch_waits by the lock manager so contention on the latch itself is
+  /// directly visible in the benches.
+  void Lock(uint64_t* spins, uint64_t* waits) {
+    // Single-threaded shortcut (the same one glibc gives pthread_mutex):
+    // with no rival thread in the process, the free->locked transition
+    // needs no interlocked instruction. The flag can only flip *to*
+    // multi-threaded, and thread creation synchronizes-with the new
+    // thread, so the relaxed store is safe.
+    if (ProcessIsSingleThreaded() &&
+        word_.load(std::memory_order_relaxed) == kFree) {
+      word_.store(kLocked, std::memory_order_relaxed);
+      return;
+    }
+    uint32_t cur = kFree;
+    if (word_.compare_exchange_strong(cur, kLocked, std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      return;  // uncontended fast path: one CAS
+    }
+    LockSlow(spins, waits);
+  }
+
+  void Unlock() {
+    // Single-threaded and no waiter recorded: nobody to synchronize with
+    // or wake. (A thread spawned during the hold flips the flag, so the
+    // interlocked path below handles every multi-threaded release.)
+    if (ProcessIsSingleThreaded() &&
+        word_.load(std::memory_order_relaxed) == kLocked) {
+      word_.store(kFree, std::memory_order_relaxed);
+      return;
+    }
+    if (word_.exchange(kFree, std::memory_order_release) == kLockedWaiters) {
+      word_.notify_one();
+    }
+  }
+
+ private:
+  static constexpr uint32_t kFree = 0;
+  static constexpr uint32_t kLocked = 1;
+  static constexpr uint32_t kLockedWaiters = 2;
+  /// 2^8 - 1 = 255 pause instructions max before parking: a few hundred
+  /// nanoseconds, several multiples of a queue operation.
+  static constexpr int kSpinRounds = 8;
+
+  void LockSlow(uint64_t* spins, uint64_t* waits) {
+    uint64_t rounds = 0;
+    for (int round = 0; round < kSpinRounds; ++round) {
+      for (int i = 0; i < (1 << round); ++i) CpuRelax();
+      ++rounds;
+      uint32_t cur = word_.load(std::memory_order_relaxed);
+      if (cur == kFree &&
+          word_.compare_exchange_weak(cur, kLocked, std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        if (spins != nullptr) *spins += rounds;
+        return;
+      }
+    }
+    if (spins != nullptr) *spins += rounds;
+    while (word_.exchange(kLockedWaiters, std::memory_order_acquire) !=
+           kFree) {
+      if (waits != nullptr) ++*waits;
+      word_.wait(kLockedWaiters, std::memory_order_acquire);
+    }
+  }
+
+  std::atomic<uint32_t> word_{kFree};
+};
 
 /// Simulated client round trip for interactive mode. Sleeps instead of
 /// spinning so that, exactly as with a real network, the CPU is free for

@@ -3,11 +3,16 @@
 
 #include <cstdint>
 
+#include "src/common/platform.h"
+
 namespace bamboo {
 
 /// Per-worker counters. Written by exactly one thread during a run (no
 /// atomics on the hot path), aggregated into a RunResult afterwards.
-struct ThreadStats {
+/// Cache-line aligned: workers' stats often sit in adjacent storage
+/// (worker contexts, fixture arrays), and a shared line would turn every
+/// counter bump into cross-core traffic.
+struct alignas(kCacheLineSize) ThreadStats {
   uint64_t commits = 0;
   uint64_t aborts = 0;        ///< protocol aborts (wound/die/no-wait/validation)
   uint64_t user_aborts = 0;   ///< logic aborts (e.g. TPC-C invalid item)
@@ -20,6 +25,12 @@ struct ThreadStats {
   uint64_t abort_ns = 0;        ///< work thrown away in aborted attempts
   uint64_t commit_wait_ns = 0;  ///< time draining the commit semaphore
 
+  // --- lock-table hot-path instrumentation (see DESIGN.md "Memory layout
+  // and latching"): entry-latch contention and request-pool spills.
+  uint64_t latch_spins = 0;   ///< backoff rounds spun on entry latches
+  uint64_t latch_waits = 0;   ///< futex parks on entry latches
+  uint64_t pool_spills = 0;   ///< dependent lists that overflowed inline space
+
   void Add(const ThreadStats& o) {
     commits += o.commits;
     aborts += o.aborts;
@@ -31,6 +42,9 @@ struct ThreadStats {
     lock_wait_ns += o.lock_wait_ns;
     abort_ns += o.abort_ns;
     commit_wait_ns += o.commit_wait_ns;
+    latch_spins += o.latch_spins;
+    latch_waits += o.latch_waits;
+    pool_spills += o.pool_spills;
   }
 
   void Reset() { *this = ThreadStats(); }

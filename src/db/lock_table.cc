@@ -1,7 +1,8 @@
 #include "src/db/lock_table.h"
 
-#include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "src/db/txn.h"
 #include "src/storage/row.h"
@@ -10,36 +11,173 @@ namespace bamboo {
 
 namespace {
 
-/// Erase the request belonging to (txn, seq) from `list`; returns the
-/// removed request (or an empty one if absent).
-LockReq TakeReq(std::vector<LockReq>* list, const TxnCB* txn, uint64_t seq,
-                bool* found) {
-  for (auto it = list->begin(); it != list->end(); ++it) {
-    if (it->txn == txn && it->seq == seq) {
-      LockReq r = std::move(*it);
-      list->erase(it);
-      *found = true;
-      return r;
+/// RAII latch hold wiring the spin/park counters into the caller's
+/// ThreadStats (nullptr for stat-less callers like the test helpers).
+class LatchGuard {
+ public:
+  LatchGuard(SpinLatch* latch, ThreadStats* stats) : latch_(latch) {
+    latch_->Lock(stats != nullptr ? &stats->latch_spins : nullptr,
+                 stats != nullptr ? &stats->latch_waits : nullptr);
+  }
+  ~LatchGuard() { latch_->Unlock(); }
+  LatchGuard(const LatchGuard&) = delete;
+  LatchGuard& operator=(const LatchGuard&) = delete;
+
+ private:
+  SpinLatch* latch_;
+};
+
+/// Per-thread recycling pool for dependent spill pages. Pages migrate
+/// freely between threads (allocated here, freed wherever the release
+/// lands); after warmup every Get is served from the freelist, so the
+/// steady-state hot path never calls the allocator.
+struct DepPagePool {
+  DepPage* free_head = nullptr;
+
+  ~DepPagePool() {
+    while (free_head != nullptr) {
+      DepPage* next = free_head->next;
+      delete free_head;
+      free_head = next;
     }
   }
-  *found = false;
-  return LockReq();
+
+  DepPage* Get() {
+    if (free_head != nullptr) {
+      DepPage* p = free_head;
+      free_head = p->next;
+      p->next = nullptr;
+      return p;
+    }
+    return new DepPage();
+  }
+
+  void Put(DepPage* p) {
+    p->next = free_head;
+    free_head = p;
+  }
+};
+
+thread_local DepPagePool t_dep_pages;
+
+/// Sequential cursor over a request's dependent records: inline array
+/// first, then the spill pages. O(1) amortized per step; the caller bounds
+/// iteration by dep_count.
+class DepCursor {
+ public:
+  explicit DepCursor(LockReq* r) : r_(r) {}
+
+  DepRec* Next() {
+    DepRec* slot;
+    if (i_ < LockReq::kInlineDeps) {
+      slot = &r_->dep_inline[i_];
+    } else {
+      if (i_ == LockReq::kInlineDeps || off_ == DepPage::kCap) {
+        page_ = (page_ == nullptr) ? r_->dep_head : page_->next;
+        off_ = 0;
+      }
+      slot = &page_->recs[off_++];
+    }
+    i_++;
+    return slot;
+  }
+
+ private:
+  LockReq* r_;
+  uint32_t i_ = 0;
+  DepPage* page_ = nullptr;
+  uint32_t off_ = 0;
+};
+
+/// Append one dependent record; grabbing a fresh spill page counts as a
+/// pool spill against `stats` (the acquiring side, which created the edge).
+void DepPush(LockReq* r, TxnCB* txn, uint64_t seq, ThreadStats* stats) {
+  DepRec* slot;
+  uint32_t i = r->dep_count;
+  if (i < LockReq::kInlineDeps) {
+    slot = &r->dep_inline[i];
+  } else {
+    uint32_t off = (i - LockReq::kInlineDeps) % DepPage::kCap;
+    if (off == 0) {
+      DepPage* p = t_dep_pages.Get();
+      if (r->dep_tail != nullptr) {
+        r->dep_tail->next = p;
+      } else {
+        r->dep_head = p;
+      }
+      r->dep_tail = p;
+      if (stats != nullptr) stats->pool_spills++;
+    }
+    slot = &r->dep_tail->recs[off];
+  }
+  slot->txn = txn;
+  slot->seq = seq;
+  r->dep_count++;
+}
+
+/// Shrink the dependent list to its first `kept` records, returning every
+/// no-longer-needed spill page to the pool (the inline->spill->shrink
+/// round trip).
+void TrimDeps(LockReq* r, uint32_t kept) {
+  uint32_t pages_needed =
+      kept <= LockReq::kInlineDeps
+          ? 0
+          : (kept - LockReq::kInlineDeps + DepPage::kCap - 1) / DepPage::kCap;
+  DepPage* p = r->dep_head;
+  DepPage* tail = nullptr;
+  for (uint32_t n = 0; n < pages_needed; n++) {
+    tail = p;
+    p = p->next;
+  }
+  while (p != nullptr) {
+    DepPage* next = p->next;
+    t_dep_pages.Put(p);
+    p = next;
+  }
+  if (pages_needed == 0) {
+    r->dep_head = nullptr;
+    r->dep_tail = nullptr;
+  } else {
+    tail->next = nullptr;
+    r->dep_tail = tail;
+  }
+  r->dep_count = kept;
+}
+
+/// Remove every dependent record pointing at `txn` (compacting in place
+/// with a read/write cursor pair, O(dep_count)).
+void ScrubDeps(LockReq* r, const TxnCB* txn) {
+  DepCursor rd(r);
+  DepCursor wr(r);
+  uint32_t kept = 0;
+  const uint32_t n = r->dep_count;
+  for (uint32_t i = 0; i < n; i++) {
+    DepRec* src = rd.Next();
+    if (src->txn == txn) continue;
+    DepRec* dst = wr.Next();
+    if (dst != src) *dst = *src;
+    kept++;
+  }
+  if (kept != n) TrimDeps(r, kept);
 }
 
 void DropDependentRecords(LockEntry* e, const TxnCB* txn) {
-  auto scrub = [txn](std::vector<LockReq>* list) {
-    for (auto& r : *list) {
-      auto& d = r.dependents;
-      d.erase(std::remove_if(
-                  d.begin(), d.end(),
-                  [txn](const std::pair<TxnCB*, uint64_t>& p) {
-                    return p.first == txn;
-                  }),
-              d.end());
-    }
-  };
-  scrub(&e->owners);
-  scrub(&e->retired);
+  for (LockReq* r = e->owners.head; r != nullptr; r = r->next) {
+    ScrubDeps(r, txn);
+  }
+  for (LockReq* r = e->retired.head; r != nullptr; r = r->next) {
+    ScrubDeps(r, txn);
+  }
+}
+
+/// Find the request belonging to (txn, seq); erase stays O(1) on the
+/// intrusive list once found. The scan is short by construction: hotspot
+/// queues hold one request per active transaction on that tuple.
+LockReq* FindReq(ReqList* list, const TxnCB* txn, uint64_t seq) {
+  for (LockReq* r = list->head; r != nullptr; r = r->next) {
+    if (r->txn == txn && r->seq == seq) return r;
+  }
+  return nullptr;
 }
 
 // Detached-commit completions claimed while a latch was held; processed by
@@ -47,6 +185,15 @@ void DropDependentRecords(LockEntry* e, const TxnCB* txn) {
 // release other rows, which may claim further completions -> iterate).
 thread_local std::vector<TxnCB*> t_pending_completions;
 thread_local bool t_draining = false;
+
+// ThreadStats of the worker currently executing on this thread. Latch
+// contention in a release must be charged to the *executing* thread, not
+// the transaction's owner: a detached commit's release runs on whichever
+// thread claimed it, while the origin worker is already driving its next
+// transaction against the same (non-atomic) ThreadStats. Public entry
+// points refresh the pointer from their caller's txn; nested releases
+// inside DrainCompletions inherit it.
+thread_local ThreadStats* t_exec_stats = nullptr;
 
 /// Commit timestamp of a chain version if it is both committed and
 /// stamped; 0 otherwise. Snapshots pin the *published* CTS watermark
@@ -65,6 +212,47 @@ uint64_t VersionCommitCts(const Version& v) {
 }
 
 }  // namespace
+
+// --- ReqPool ---------------------------------------------------------------
+
+ReqPool::~ReqPool() {
+  for (int i = 0; i < num_slabs_; i++) delete[] slabs_[i];
+}
+
+void ReqPool::Grow() {
+  // Growth path (long scans only): one slab doubling the capacity,
+  // retained for the TxnCB lifetime -- each size is paid at most once.
+  if (num_slabs_ >= kMaxSlabs) std::abort();  // > 1M live requests: a bug
+  uint32_t n = capacity_;
+  LockReq* slab = new LockReq[n];
+  slabs_[num_slabs_++] = slab;
+  Thread(slab, n);
+  capacity_ += n;
+}
+
+LockReq* ReqPool::Alloc() {
+  if (free_ == nullptr) Grow();
+  LockReq* r = free_;
+  free_ = r->next;
+  live_++;
+  r->prev = nullptr;
+  r->next = nullptr;
+  r->queue = ReqQueue::kNone;
+  r->dep_count = 0;
+  r->dep_head = nullptr;
+  r->dep_tail = nullptr;
+  return r;
+}
+
+void ReqPool::Free(LockReq* r) {
+  if (r->dep_head != nullptr) TrimDeps(r, 0);
+  r->dep_count = 0;
+  r->next = free_;
+  free_ = r;
+  live_--;
+}
+
+// --- LockManager -----------------------------------------------------------
 
 bool LockManager::WoundAndClaim(TxnCB* victim, bool cascade) {
   if (!victim->Wound(cascade)) return false;
@@ -107,8 +295,21 @@ bool LockManager::HolderCommitted(const LockReq& r) {
          TxnStatus::kCommitted;
 }
 
+LockReq* LockManager::MakeReq(TxnCB* txn, uint64_t seq, LockType type,
+                              RmwFn rmw_fn, void* rmw_arg, bool rmw_retire) {
+  LockReq* r = txn->pool.Alloc();
+  r->txn = txn;
+  r->seq = seq;
+  r->type = type;
+  r->rmw_fn = rmw_fn;
+  r->rmw_arg = rmw_arg;
+  r->rmw_retire = rmw_retire;
+  return r;
+}
+
 AccessGrant LockManager::Acquire(Row* row, TxnCB* txn, LockType type,
                                  char* read_buf) {
+  t_exec_stats = txn->stats;  // acquires only run on the owning thread
   AccessGrant grant =
       AcquireLocked(row, txn, type, read_buf, nullptr, nullptr, false);
   DrainCompletions();
@@ -117,6 +318,7 @@ AccessGrant LockManager::Acquire(Row* row, TxnCB* txn, LockType type,
 
 AccessGrant LockManager::AcquireRmw(Row* row, TxnCB* txn, RmwFn fn, void* arg,
                                     bool retire_now) {
+  t_exec_stats = txn->stats;
   AccessGrant grant =
       AcquireLocked(row, txn, LockType::kEX, nullptr, fn, arg, retire_now);
   DrainCompletions();
@@ -127,7 +329,8 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
                                        char* read_buf, RmwFn rmw_fn,
                                        void* rmw_arg, bool rmw_retire) {
   LockEntry* e = row->Lock();
-  std::lock_guard<std::mutex> g(e->latch);
+  txn->pool.Reserve();  // any slab growth happens before the latch
+  LatchGuard g(&e->latch, txn->stats);
   const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
 
   // Gather conflicts. Self re-acquisition never reaches the lock manager
@@ -138,11 +341,11 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
   thread_local std::vector<LockReq*> c_retired;
   c_owners.clear();
   c_retired.clear();
-  for (auto& o : e->owners) {
-    if (o.txn != txn && Conflicts(o.type, type)) c_owners.push_back(&o);
+  for (LockReq* o = e->owners.head; o != nullptr; o = o->next) {
+    if (o->txn != txn && Conflicts(o->type, type)) c_owners.push_back(o);
   }
-  for (auto& r : e->retired) {
-    if (r.txn != txn && Conflicts(r.type, type)) c_retired.push_back(&r);
+  for (LockReq* r = e->retired.head; r != nullptr; r = r->next) {
+    if (r->txn != txn && Conflicts(r->type, type)) c_retired.push_back(r);
   }
   bool older_conflicting_waiter = false;
 
@@ -153,8 +356,8 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
     for (LockReq* r : c_retired) EnsureTs(r->txn);
     EnsureTs(txn);
   }
-  for (auto& w : e->waiters) {
-    if (w.txn != txn && Conflicts(w.type, type) && OlderThan(w.txn, txn)) {
+  for (LockReq* w = e->waiters.head; w != nullptr; w = w->next) {
+    if (w->txn != txn && Conflicts(w->type, type) && OlderThan(w->txn, txn)) {
       older_conflicting_waiter = true;
       // A real conflict exists on this tuple: order ourselves.
       EnsureTs(txn);
@@ -182,15 +385,8 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
         return a;
       }
       if (!c_owners.empty()) {
-        LockReq req;
-        req.txn = txn;
-        req.seq = seq;
-        req.type = type;
-        req.rmw_fn = rmw_fn;
-        req.rmw_arg = rmw_arg;
-        req.rmw_retire = rmw_retire;
         txn->lock_granted.store(0, std::memory_order_relaxed);
-        InsertWaiter(e, std::move(req));
+        InsertWaiter(e, MakeReq(txn, seq, type, rmw_fn, rmw_arg, rmw_retire));
         AccessGrant a;
         a.rc = AcqResult::kWait;
         return a;
@@ -206,15 +402,8 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
         if (OlderThan(txn, o->txn)) WoundAndClaim(o->txn, /*cascade=*/false);
       }
       if (!c_owners.empty() || older_conflicting_waiter) {
-        LockReq req;
-        req.txn = txn;
-        req.seq = seq;
-        req.type = type;
-        req.rmw_fn = rmw_fn;
-        req.rmw_arg = rmw_arg;
-        req.rmw_retire = rmw_retire;
         txn->lock_granted.store(0, std::memory_order_relaxed);
-        InsertWaiter(e, std::move(req));
+        InsertWaiter(e, MakeReq(txn, seq, type, rmw_fn, rmw_arg, rmw_retire));
         AccessGrant a;
         a.rc = AcqResult::kWait;
         return a;
@@ -285,15 +474,8 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
       }
       if (!c_owners.empty() || younger_retired_present ||
           older_conflicting_waiter) {
-        LockReq req;
-        req.txn = txn;
-        req.seq = seq;
-        req.type = type;
-        req.rmw_fn = rmw_fn;
-        req.rmw_arg = rmw_arg;
-        req.rmw_retire = rmw_retire;
         txn->lock_granted.store(0, std::memory_order_relaxed);
-        InsertWaiter(e, std::move(req));
+        InsertWaiter(e, MakeReq(txn, seq, type, rmw_fn, rmw_arg, rmw_retire));
         AccessGrant a;
         a.rc = AcqResult::kWait;
         return a;
@@ -308,10 +490,7 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
   // Immediate grant. Fresh Bamboo reads go straight into the retired list
   // (Opt 1) without the owners round trip; everything else becomes an
   // owner first.
-  LockReq req;
-  req.txn = txn;
-  req.seq = seq;
-  req.type = type;
+  LockReq* req = MakeReq(txn, seq, type, rmw_fn, rmw_arg, rmw_retire);
   AccessGrant grant;
   grant.rc = AcqResult::kGranted;
   ValidateSnapshotObservation(row, txn, type);
@@ -326,22 +505,22 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
       // writer.
       rmw_fn(grant.write_data, rmw_arg);
       if (rmw_retire) {
-        e->retired.push_back(std::move(req));
+        e->retired.PushBack(req, ReqQueue::kRetired);
         grant.retired = true;
       } else {
-        e->owners.push_back(std::move(req));
+        e->owners.PushBack(req, ReqQueue::kOwners);
       }
     } else {
-      e->owners.push_back(std::move(req));
+      e->owners.PushBack(req, ReqQueue::kOwners);
     }
   } else {
     std::memcpy(read_buf, row->NewestData(), row->size());
     if (grant.dirty && txn->stats != nullptr) txn->stats->dirty_reads++;
     if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_read_retire) {
-      e->retired.push_back(std::move(req));
+      e->retired.PushBack(req, ReqQueue::kRetired);
       grant.retired = true;
     } else {
-      e->owners.push_back(std::move(req));
+      e->owners.PushBack(req, ReqQueue::kOwners);
     }
   }
   if (cfg_.protocol == Protocol::kWaitDie) WaitDieRepair(e);
@@ -429,13 +608,16 @@ bool LockManager::RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type,
                                   uint64_t seq) {
   bool dirty = false;
   bool newest = true;
-  for (auto it = e->retired.rbegin(); it != e->retired.rend(); ++it) {
+  for (LockReq* it = e->retired.tail; it != nullptr; it = it->prev) {
     if (it->txn == txn || !Conflicts(it->type, type)) continue;
     if (newest) {
       dirty = !HolderCommitted(*it);
       newest = false;
     }
-    it->dependents.emplace_back(txn, seq);
+    // Spills are charged to the executing thread: a promoter registering a
+    // parked waiter's barrier must not write the waiter's ThreadStats
+    // (its owner may already be rolling the wounded waiter back).
+    DepPush(it, txn, seq, t_exec_stats);
     txn->commit_semaphore.fetch_add(1, std::memory_order_acq_rel);
     txn->deps_taken++;
   }
@@ -444,8 +626,9 @@ bool LockManager::RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type,
 
 AccessGrant LockManager::CompleteAcquire(Row* row, TxnCB* txn, LockType type,
                                          char* read_buf) {
+  t_exec_stats = txn->stats;  // completes only run on the owning thread
   LockEntry* e = row->Lock();
-  std::lock_guard<std::mutex> g(e->latch);
+  LatchGuard g(&e->latch, txn->stats);
   if (txn->IsAborted()) {
     AccessGrant a;
     a.rc = AcqResult::kAbort;
@@ -455,8 +638,9 @@ AccessGrant LockManager::CompleteAcquire(Row* row, TxnCB* txn, LockType type,
 }
 
 AccessGrant LockManager::CompleteAcquireRmw(Row* row, TxnCB* txn) {
+  t_exec_stats = txn->stats;
   LockEntry* e = row->Lock();
-  std::lock_guard<std::mutex> g(e->latch);
+  LatchGuard g(&e->latch, txn->stats);
   AccessGrant a;
   if (txn->IsAborted()) {
     a.rc = AcqResult::kAbort;
@@ -465,12 +649,7 @@ AccessGrant LockManager::CompleteAcquireRmw(Row* row, TxnCB* txn) {
   const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
   a.rc = AcqResult::kGranted;
   a.write_data = row->FindVersion(txn, seq);
-  for (const auto& r : e->retired) {
-    if (r.txn == txn && r.seq == seq) {
-      a.retired = true;
-      break;
-    }
-  }
+  a.retired = FindReq(&e->retired, txn, seq) != nullptr;
   return a;
 }
 
@@ -492,10 +671,10 @@ AccessGrant LockManager::FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn,
     if (grant.dirty && txn->stats != nullptr) txn->stats->dirty_reads++;
     if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_read_retire) {
       // Opt 1: the read is complete, retire inside the same latch hold.
-      bool found = false;
-      LockReq own = TakeReq(&e->owners, txn, seq, &found);
-      if (found) {
-        e->retired.push_back(std::move(own));
+      LockReq* own = FindReq(&e->owners, txn, seq);
+      if (own != nullptr) {
+        e->owners.Remove(own);
+        e->retired.PushBack(own, ReqQueue::kRetired);
         grant.retired = true;
         PromoteWaiters(e, row);
       }
@@ -505,43 +684,74 @@ AccessGrant LockManager::FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn,
 }
 
 void LockManager::Retire(Row* row, TxnCB* txn) {
+  t_exec_stats = txn->stats;  // retires only run on the owning thread
   LockEntry* e = row->Lock();
-  std::lock_guard<std::mutex> g(e->latch);
-  bool found = false;
-  LockReq own =
-      TakeReq(&e->owners, txn, txn->txn_seq.load(std::memory_order_relaxed),
-              &found);
-  if (!found) return;  // already aborted/released concurrently
-  e->retired.push_back(std::move(own));
+  LatchGuard g(&e->latch, txn->stats);
+  LockReq* own = FindReq(&e->owners, txn,
+                         txn->txn_seq.load(std::memory_order_relaxed));
+  if (own == nullptr) return;  // already aborted/released concurrently
+  e->owners.Remove(own);
+  e->retired.PushBack(own, ReqQueue::kRetired);
   PromoteWaiters(e, row);
 }
 
 int LockManager::Release(Row* row, TxnCB* txn, bool committed) {
+  // Inside a completion drain this thread is finishing someone else's
+  // transaction; keep charging latch contention to the thread's own
+  // worker stats (set by the outer public call), never the origin's.
+  if (!t_draining) t_exec_stats = txn->stats;
   int wounded = ReleaseLocked(row, txn, committed);
   DrainCompletions();
   return wounded;
 }
 
+int LockManager::RetireDependentsAndFree(LockReq* req, bool committed) {
+  int wounded = 0;
+  DepCursor cur(req);
+  const uint32_t n = req->dep_count;
+  for (uint32_t i = 0; i < n; i++) {
+    DepRec* rec = cur.Next();
+    TxnCB* dep = rec->txn;
+    if (dep->txn_seq.load(std::memory_order_acquire) != rec->seq) continue;
+    if (committed) {
+      if (dep->commit_semaphore.fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        // Last barrier gone: if the dependent's worker already handed
+        // its commit off, claim and finish it (commit pipelining).
+        if (dep->detached.exchange(false, std::memory_order_acq_rel)) {
+          t_pending_completions.push_back(dep);
+        }
+        dep->Notify();
+      }
+    } else {
+      // Cascading abort: everything that consumed our dirty state dies.
+      if (WoundAndClaim(dep, /*cascade=*/true)) wounded++;
+    }
+  }
+  req->txn->pool.Free(req);  // also returns the spill pages
+  return wounded;
+}
+
 int LockManager::ReleaseLocked(Row* row, TxnCB* txn, bool committed) {
   LockEntry* e = row->Lock();
-  std::lock_guard<std::mutex> g(e->latch);
+  LatchGuard g(&e->latch, t_exec_stats);
   const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
 
   int wounded = 0;
-  bool found = false;
-  LockReq req;
+  LockReq* req;
   if (cfg_.protocol == Protocol::kBamboo) {
     // Most Bamboo footprint lives in the retired list; search it first.
-    req = TakeReq(&e->retired, txn, seq, &found);
-    if (!found) req = TakeReq(&e->owners, txn, seq, &found);
+    req = FindReq(&e->retired, txn, seq);
+    if (req == nullptr) req = FindReq(&e->owners, txn, seq);
   } else {
-    req = TakeReq(&e->owners, txn, seq, &found);
-    if (!found) req = TakeReq(&e->retired, txn, seq, &found);
+    req = FindReq(&e->owners, txn, seq);
+    if (req == nullptr) req = FindReq(&e->retired, txn, seq);
   }
-  if (found) {
+  if (req != nullptr) {
+    (req->queue == ReqQueue::kRetired ? e->retired : e->owners).Remove(req);
     const bool track_cts =
         cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read;
-    if (req.type == LockType::kEX) {
+    if (req->type == LockType::kEX) {
       if (committed) {
         // The committer drew its CTS before releasing, so the stamp is
         // available here (0 only for test-driven manual commits, which
@@ -553,26 +763,13 @@ int LockManager::ReleaseLocked(Row* row, TxnCB* txn, bool committed) {
         row->AbortVersion(txn, seq);
       }
     }
-    for (auto& [dep, dep_seq] : req.dependents) {
-      if (dep->txn_seq.load(std::memory_order_acquire) != dep_seq) continue;
-      if (committed) {
-        if (dep->commit_semaphore.fetch_sub(1, std::memory_order_acq_rel) ==
-            1) {
-          // Last barrier gone: if the dependent's worker already handed
-          // its commit off, claim and finish it (commit pipelining).
-          if (dep->detached.exchange(false, std::memory_order_acq_rel)) {
-            t_pending_completions.push_back(dep);
-          }
-          dep->Notify();
-        }
-      } else {
-        // Cascading abort: everything that consumed our dirty state dies.
-        if (WoundAndClaim(dep, /*cascade=*/true)) wounded++;
-      }
-    }
+    wounded = RetireDependentsAndFree(req, committed);
   } else {
-    bool was_waiting = false;
-    TakeReq(&e->waiters, txn, seq, &was_waiting);
+    LockReq* wtr = FindReq(&e->waiters, txn, seq);
+    if (wtr != nullptr) {
+      e->waiters.Remove(wtr);
+      txn->pool.Free(wtr);
+    }
   }
 
   // Drop any dependency records still pointing at us so a later attempt of
@@ -584,51 +781,61 @@ int LockManager::ReleaseLocked(Row* row, TxnCB* txn, bool committed) {
 }
 
 bool LockManager::WaiterEligible(LockEntry* e, const LockReq& w) const {
-  for (const auto& o : e->owners) {
-    if (o.txn != w.txn && Conflicts(o.type, w.type)) return false;
+  // O(1) summary checks first. A waiter is never itself linked into owners
+  // or retired (one request per (txn, row); TxnHandle deduplicates), so
+  // the aggregate counters decide the owners side without a scan, and the
+  // whole check without one in the common shapes (empty entry, read-only
+  // retired list).
+  if (w.type == LockType::kEX) {
+    if (e->owners.size != 0) return false;
+  } else if (e->owners.ex_count != 0) {
+    return false;
   }
-  for (const auto& r : e->retired) {
-    if (r.txn == w.txn || !Conflicts(r.type, w.type)) continue;
+  if (e->retired.empty()) return true;
+  if (w.type == LockType::kSH && e->retired.ex_count == 0) return true;
+  for (const LockReq* r = e->retired.head; r != nullptr; r = r->next) {
+    if (r->txn == w.txn || !Conflicts(r->type, w.type)) continue;
     // May only queue *behind* older (or already committed) retired
     // entries; a younger uncommitted one is a doomed wound target that
     // must drain first.
-    if (!HolderCommitted(r) && !OlderThan(r.txn, w.txn)) return false;
+    if (!HolderCommitted(*r) && !OlderThan(r->txn, w.txn)) return false;
   }
   return true;
 }
 
 void LockManager::PromoteWaiters(LockEntry* e, Row* row) {
-  for (size_t i = 0; i < e->waiters.size();) {
-    LockReq& w = e->waiters[i];
-    if (w.txn->IsAborted()) {
-      i++;  // its own rollback will remove it; do not block others on it
+  LockReq* w = e->waiters.head;
+  while (w != nullptr) {
+    LockReq* next = w->next;
+    if (w->txn->IsAborted()) {
+      w = next;  // its own rollback will remove it; do not block others on it
       continue;
     }
-    if (!WaiterEligible(e, w)) break;  // strict wake-up order
-    LockReq granted = std::move(w);
-    e->waiters.erase(e->waiters.begin() + static_cast<long>(i));
-    TxnCB* t = granted.txn;
-    if (granted.rmw_fn != nullptr) {
+    if (!WaiterEligible(e, *w)) break;  // strict wake-up order
+    e->waiters.Remove(w);
+    TxnCB* t = w->txn;
+    if (w->rmw_fn != nullptr) {
       // Apply the fused RMW on the sleeping waiter's behalf. Retired RMWs
       // keep draining the queue: the next (younger) writer may queue right
       // behind this freshly retired one, so a whole chain of hotspot
       // updates completes in this single latch hold.
       ValidateSnapshotObservation(row, t, LockType::kEX);
       t->wrote_any.store(true, std::memory_order_relaxed);
-      RegisterBarrier(e, t, LockType::kEX, granted.seq);
-      char* data = row->PushVersion(t, granted.seq);
-      granted.rmw_fn(data, granted.rmw_arg);
-      if (granted.rmw_retire) {
-        e->retired.push_back(std::move(granted));
+      RegisterBarrier(e, t, LockType::kEX, w->seq);
+      char* data = row->PushVersion(t, w->seq);
+      w->rmw_fn(data, w->rmw_arg);
+      if (w->rmw_retire) {
+        e->retired.PushBack(w, ReqQueue::kRetired);
       } else {
-        e->owners.push_back(std::move(granted));
+        e->owners.PushBack(w, ReqQueue::kOwners);
       }
       t->lock_granted.store(2, std::memory_order_release);
     } else {
-      e->owners.push_back(std::move(granted));
+      e->owners.PushBack(w, ReqQueue::kOwners);
       t->lock_granted.store(1, std::memory_order_release);
     }
     t->Notify();
+    w = next;
   }
 
   if (cfg_.protocol == Protocol::kWaitDie) WaitDieRepair(e);
@@ -640,35 +847,49 @@ void LockManager::PromoteWaiters(LockEntry* e, Row* row) {
 /// an edge wait-die forbids (it is how deadlock cycles close). Such
 /// waiters must die now, not wait.
 void LockManager::WaitDieRepair(LockEntry* e) {
-  for (auto& w : e->waiters) {
-    if (w.txn->IsAborted()) continue;
-    for (const auto& o : e->owners) {
-      if (o.txn != w.txn && Conflicts(o.type, w.type) &&
-          OlderThan(o.txn, w.txn)) {
-        WoundAndClaim(w.txn, /*cascade=*/false);
+  for (LockReq* w = e->waiters.head; w != nullptr; w = w->next) {
+    if (w->txn->IsAborted()) continue;
+    for (const LockReq* o = e->owners.head; o != nullptr; o = o->next) {
+      if (o->txn != w->txn && Conflicts(o->type, w->type) &&
+          OlderThan(o->txn, w->txn)) {
+        WoundAndClaim(w->txn, /*cascade=*/false);
         break;
       }
     }
   }
 }
 
-void LockManager::InsertWaiter(LockEntry* e, LockReq req) {
-  auto it = e->waiters.begin();
-  while (it != e->waiters.end() && !OlderThan(req.txn, it->txn)) ++it;
-  e->waiters.insert(it, std::move(req));
+void LockManager::InsertWaiter(LockEntry* e, LockReq* req) {
+  // Oldest-first order, walking from the tail: a fresh request is almost
+  // always the youngest on the tuple, so the expected walk is zero steps
+  // (the old sorted-vector insert paid a full memmove for the same
+  // position).
+  LockReq* pos = e->waiters.tail;
+  while (pos != nullptr && OlderThan(req->txn, pos->txn)) pos = pos->prev;
+  e->waiters.InsertBefore(pos == nullptr ? e->waiters.head : pos->next, req,
+                          ReqQueue::kWaiters);
 }
 
 size_t LockManager::OwnerCount(Row* row) {
-  std::lock_guard<std::mutex> g(row->Lock()->latch);
-  return row->Lock()->owners.size();
+  LatchGuard g(&row->Lock()->latch, nullptr);
+  return row->Lock()->owners.size;
 }
 size_t LockManager::RetiredCount(Row* row) {
-  std::lock_guard<std::mutex> g(row->Lock()->latch);
-  return row->Lock()->retired.size();
+  LatchGuard g(&row->Lock()->latch, nullptr);
+  return row->Lock()->retired.size;
 }
 size_t LockManager::WaiterCount(Row* row) {
-  std::lock_guard<std::mutex> g(row->Lock()->latch);
-  return row->Lock()->waiters.size();
+  LatchGuard g(&row->Lock()->latch, nullptr);
+  return row->Lock()->waiters.size;
+}
+
+size_t LockManager::DependentCount(Row* row, TxnCB* txn) {
+  LockEntry* e = row->Lock();
+  LatchGuard g(&e->latch, nullptr);
+  const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
+  LockReq* r = FindReq(&e->retired, txn, seq);
+  if (r == nullptr) r = FindReq(&e->owners, txn, seq);
+  return r != nullptr ? r->dep_count : 0;
 }
 
 }  // namespace bamboo

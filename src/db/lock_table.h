@@ -3,11 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <utility>
-#include <vector>
 
 #include "src/common/config.h"
+#include "src/common/platform.h"
+#include "src/common/stats.h"
 
 namespace bamboo {
 
@@ -24,22 +23,175 @@ inline bool Conflicts(LockType a, LockType b) {
 /// entry latch, so it must stay tiny (counter bumps, balance updates).
 using RmwFn = void (*)(char* data, void* arg);
 
-/// One queued or granted request. Requests live inside the per-tuple lists
-/// and are identified by (txn, seq) so references never dangle across the
-/// owning thread's retries.
+/// One (txn, seq) commit-dependency edge recorded on a retired request;
+/// the seq makes stale edges (a later attempt of the same TxnCB)
+/// detectable, so records never dangle.
+struct DepRec {
+  TxnCB* txn;
+  uint64_t seq;
+};
+
+/// Spill page for dependent records past the inline array. Pages are
+/// recycled through a per-thread pool (lock_table.cc), so steady-state
+/// spills never touch the allocator.
+struct DepPage {
+  static constexpr uint32_t kCap = 8;
+  DepRec recs[kCap];
+  DepPage* next = nullptr;
+};
+
+/// Which per-tuple list a request is currently linked into.
+enum class ReqQueue : uint8_t { kNone, kOwners, kRetired, kWaiters };
+
+/// One queued or granted request. Requests are intrusive list nodes that
+/// live in the owning transaction's ReqPool (below); the lock manager only
+/// ever links/unlinks them, so acquire/retire/promote/release never touch
+/// the allocator and every erase is O(1). All fields except the identity
+/// pair are guarded by the entry latch.
 struct LockReq {
+  // --- intrusive hooks. `next` doubles as the pool freelist link while
+  //     the request is unallocated.
+  LockReq* prev = nullptr;
+  LockReq* next = nullptr;
+  ReqQueue queue = ReqQueue::kNone;
+
+  // --- identity: (txn, seq) so references never dangle across the owning
+  //     thread's retries.
   TxnCB* txn = nullptr;
   uint64_t seq = 0;
   LockType type = LockType::kSH;
   /// Fused RMW waiting to be applied (see LockManager::AcquireRmw). The
   /// promoter applies it on the sleeping waiter's behalf, so a whole queue
   /// of hotspot updates drains in a single latch hold.
+  bool rmw_retire = false;
   RmwFn rmw_fn = nullptr;
   void* rmw_arg = nullptr;
-  bool rmw_retire = false;
-  /// Transactions whose commit semaphore counts this (retired) request as
-  /// their barrier; drained on commit, wounded on abort.
-  std::vector<std::pair<TxnCB*, uint64_t>> dependents;
+
+  // --- dependents: transactions whose commit semaphore counts this
+  //     (retired) request as their barrier; drained on commit, wounded on
+  //     abort. The first kInlineDeps live inline; more spill to pooled
+  //     pages (ThreadStats::pool_spills counts the page grabs) and the
+  //     list shrinks back as records are scrubbed.
+  static constexpr uint32_t kInlineDeps = 4;
+  uint32_t dep_count = 0;
+  DepRec dep_inline[kInlineDeps];
+  DepPage* dep_head = nullptr;
+  DepPage* dep_tail = nullptr;
+};
+
+/// Intrusive doubly-linked request list with O(1) link/unlink and the
+/// conflict summary (`ex_count`) that lets waiter-eligibility checks skip
+/// the scan in the common cases. All mutation happens under the entry
+/// latch.
+struct ReqList {
+  LockReq* head = nullptr;
+  LockReq* tail = nullptr;
+  uint32_t size = 0;
+  uint32_t ex_count = 0;  ///< EX-typed members
+
+  bool empty() const { return head == nullptr; }
+
+  void PushBack(LockReq* r, ReqQueue q) { InsertBefore(nullptr, r, q); }
+
+  /// Insert `r` before `pos` (nullptr = append at the tail).
+  void InsertBefore(LockReq* pos, LockReq* r, ReqQueue q) {
+    r->queue = q;
+    r->next = pos;
+    if (pos != nullptr) {
+      r->prev = pos->prev;
+      if (pos->prev != nullptr) {
+        pos->prev->next = r;
+      } else {
+        head = r;
+      }
+      pos->prev = r;
+    } else {
+      r->prev = tail;
+      if (tail != nullptr) {
+        tail->next = r;
+      } else {
+        head = r;
+      }
+      tail = r;
+    }
+    size++;
+    if (r->type == LockType::kEX) ex_count++;
+  }
+
+  void Remove(LockReq* r) {
+    if (r->prev != nullptr) {
+      r->prev->next = r->next;
+    } else {
+      head = r->next;
+    }
+    if (r->next != nullptr) {
+      r->next->prev = r->prev;
+    } else {
+      tail = r->prev;
+    }
+    r->prev = nullptr;
+    r->next = nullptr;
+    r->queue = ReqQueue::kNone;
+    size--;
+    if (r->type == LockType::kEX) ex_count--;
+  }
+};
+
+/// Per-transaction request pool: a fixed inline array of slots, growing by
+/// geometric slabs only when a transaction's footprint outruns it (long
+/// scans) -- and then never again, since slabs are retained for the TxnCB
+/// lifetime. Steady-state Alloc/Free is a freelist pop/push.
+///
+/// Concurrency: the pool is *externally* synchronized by the TxnCB
+/// ownership protocol -- at most one thread drives a given transaction's
+/// acquires and releases at any time (a detached commit hands that role
+/// over wholesale via the `detached` claim token), so no atomics are
+/// needed here.
+class ReqPool {
+ public:
+  ReqPool() {
+    Thread(inline_, kInlineSlots);
+  }
+  ~ReqPool();
+  ReqPool(const ReqPool&) = delete;
+  ReqPool& operator=(const ReqPool&) = delete;
+
+  /// Ensure at least one free slot, growing by a slab if needed. Called
+  /// *before* the entry latch is taken, so allocator work (a long scan's
+  /// slab growth) never extends a latch hold.
+  void Reserve() {
+    if (free_ == nullptr) Grow();
+  }
+  /// Pop a reset slot; the caller Reserved, so this is a freelist pop
+  /// (the growth branch only backstops direct/test callers).
+  LockReq* Alloc();
+  /// Return a slot. The caller must have unlinked it and cleared / drained
+  /// its dependents (LockManager does both in Release).
+  void Free(LockReq* r);
+
+  // --- test/inspection helpers
+  uint32_t capacity() const { return capacity_; }
+  uint32_t live() const { return live_; }
+
+ private:
+  static constexpr uint32_t kInlineSlots = 20;  ///< covers 16-op default txns
+  static constexpr int kMaxSlabs = 16;          ///< 20 * 2^16 slots max
+
+  void Thread(LockReq* slots, uint32_t n) {
+    for (uint32_t i = 0; i < n; i++) {
+      slots[i].next = free_;
+      free_ = &slots[i];
+    }
+  }
+
+  void Grow();
+
+  LockReq inline_[kInlineSlots];
+  LockReq* slabs_[kMaxSlabs] = {};
+  int num_slabs_ = 0;
+  LockReq* free_ = nullptr;
+  uint32_t capacity_ = kInlineSlots;
+  uint32_t live_ = 0;
 };
 
 /// Per-tuple lock state: the paper's three queues.
@@ -47,11 +199,19 @@ struct LockReq {
 ///   owners  - granted, still in their "growing" phase on this tuple
 ///   retired - released early (Bamboo); order = dependency = commit order
 ///   waiters - blocked requests, oldest timestamp first
-struct LockEntry {
-  std::mutex latch;
-  std::vector<LockReq> owners;
-  std::vector<LockReq> retired;
-  std::vector<LockReq> waiters;
+///
+/// The entry is cache-line aligned with the latch word leading it, so the
+/// word sits exactly on a line boundary and adjacent entries (or the
+/// surrounding Row fields) never false-share with it. The queue heads
+/// deliberately share the latch's line: the latch spin budget is short
+/// (SpinLatch parks early), so the holder's footprint -- latch word plus
+/// queue heads in one line -- dominates the cost model, and a packed
+/// entry is one line cheaper on every uncontended operation.
+struct alignas(kCacheLineSize) LockEntry {
+  SpinLatch latch;
+  ReqList owners;
+  ReqList retired;
+  ReqList waiters;
 };
 
 enum class AcqResult {
@@ -121,6 +281,8 @@ class LockManager {
   size_t OwnerCount(Row* row);
   size_t RetiredCount(Row* row);
   size_t WaiterCount(Row* row);
+  /// Dependent records currently held on txn's request (0 when absent).
+  size_t DependentCount(Row* row, TxnCB* txn);
 
  private:
   /// Latched bodies of the public entry points; the public wrappers run
@@ -160,6 +322,14 @@ class LockManager {
   /// request aborts at the acquire -- pinned transactions are read-only.)
   void ValidateSnapshotObservation(Row* row, TxnCB* txn, LockType type);
 
+  /// Allocate and fill a request node from txn's pool.
+  static LockReq* MakeReq(TxnCB* txn, uint64_t seq, LockType type,
+                          RmwFn rmw_fn, void* rmw_arg, bool rmw_retire);
+  /// Drain (commit) or wound (abort) `req`'s dependents, release its spill
+  /// pages, and return the node to its owner's pool. Returns dependents
+  /// wounded.
+  int RetireDependentsAndFree(LockReq* req, bool committed);
+
   /// Grant helpers; all run under the entry latch.
   bool RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type, uint64_t seq);
   AccessGrant FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn, LockType type,
@@ -167,7 +337,7 @@ class LockManager {
   void PromoteWaiters(LockEntry* e, Row* row);
   void WaitDieRepair(LockEntry* e);
   bool WaiterEligible(LockEntry* e, const LockReq& w) const;
-  void InsertWaiter(LockEntry* e, LockReq req);
+  void InsertWaiter(LockEntry* e, LockReq* req);
 
   const Config& cfg_;
   std::atomic<uint64_t>* ts_counter_;

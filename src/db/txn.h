@@ -11,6 +11,7 @@
 #include "src/common/config.h"
 #include "src/common/platform.h"
 #include "src/common/stats.h"
+#include "src/db/lock_table.h"
 
 namespace bamboo {
 
@@ -111,6 +112,13 @@ struct alignas(64) TxnCB {
   /// the dependent-record scrub on the (common) dependency-free path.
   int deps_taken = 0;
   ThreadStats* stats = nullptr;
+
+  /// Request-node pool for this transaction's lock footprint: the lock
+  /// manager allocates one LockReq per accessed row from here and returns
+  /// it on release, so the per-tuple queues never touch the allocator.
+  /// Synchronized by the TxnCB ownership protocol (one driving thread at a
+  /// time), not by atomics -- see ReqPool.
+  ReqPool pool;
 
   void ResetForAttempt(bool keep_ts) {
     if (!keep_ts) {

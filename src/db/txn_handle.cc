@@ -107,21 +107,22 @@ uint64_t TxnHandle::WaitForLock(Row* row) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     if (NowNs() - start > 5000000000ull) {
       LockEntry* e = row->Lock();
-      std::lock_guard<std::mutex> g(e->latch);
+      e->latch.Lock(nullptr, nullptr);
       std::fprintf(stderr, "STUCK-LOCK txn=%p ts=%llu row=%p\n", (void*)txn_,
                    (unsigned long long)txn_->ts.load(), (void*)row);
-      auto dump = [](const char* tag, const std::vector<LockReq>& list) {
-        for (const auto& r : list) {
+      auto dump = [](const char* tag, const ReqList& list) {
+        for (const LockReq* r = list.head; r != nullptr; r = r->next) {
           std::fprintf(stderr, "  %s txn=%p seq=%llu ts=%llu type=%s st=%u\n",
-                       tag, (void*)r.txn, (unsigned long long)r.seq,
-                       (unsigned long long)r.txn->ts.load(),
-                       r.type == LockType::kEX ? "EX" : "SH",
-                       (unsigned)r.txn->status.load());
+                       tag, (void*)r->txn, (unsigned long long)r->seq,
+                       (unsigned long long)r->txn->ts.load(),
+                       r->type == LockType::kEX ? "EX" : "SH",
+                       (unsigned)r->txn->status.load());
         }
       };
       dump("own", e->owners);
       dump("ret", e->retired);
       dump("wtr", e->waiters);
+      e->latch.Unlock();
       start = NowNs();
     }
   }

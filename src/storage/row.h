@@ -51,12 +51,20 @@ class Row {
   const std::vector<Version>& chain() const { return chain_; }
 
   /// Append a new dirty version seeded from the current newest image.
-  /// Caller holds the lock-entry latch.
+  /// Caller holds the lock-entry latch. The image buffer is recycled from
+  /// this row's pool (filled by commits/aborts), so steady-state writes
+  /// never touch the allocator; the pool's high-water mark is the row's
+  /// maximum concurrent writer count.
   char* PushVersion(TxnCB* writer, uint64_t seq) {
     Version v;
     v.writer = writer;
     v.writer_seq = seq;
-    v.data.reset(new char[size_]);
+    if (!image_pool_.empty()) {
+      v.data = std::move(image_pool_.back());
+      image_pool_.pop_back();
+    } else {
+      v.data.reset(new char[size_]);
+    }
     std::memcpy(v.data.get(), NewestData(), size_);
     chain_.push_back(std::move(v));
     return chain_.back().data.get();
@@ -92,6 +100,7 @@ class Row {
         has_snap_ = true;
       }
       std::memcpy(base_.get(), chain_.front().data.get(), size_);
+      image_pool_.push_back(std::move(chain_.front().data));
       chain_.erase(chain_.begin());
       if (cts > base_cts_) base_cts_ = cts;
       return;
@@ -104,6 +113,7 @@ class Row {
   void AbortVersion(const TxnCB* writer, uint64_t seq) {
     for (auto it = chain_.begin(); it != chain_.end(); ++it) {
       if (it->writer == writer && it->writer_seq == seq) {
+        image_pool_.push_back(std::move(it->data));
         chain_.erase(it);
         return;
       }
@@ -125,6 +135,10 @@ class Row {
   uint32_t size_;
   std::unique_ptr<char[]> base_;
   std::vector<Version> chain_;
+  /// Recycled version images (latch-guarded, like the chain). Bounded by
+  /// the row's maximum concurrent writer count, so hot rows settle at a
+  /// small steady-state set and cold rows keep at most one buffer.
+  std::vector<std::unique_ptr<char[]>> image_pool_;
   LockEntry lock_;
 
   // --- CTS bookkeeping (all guarded by the lock entry's latch)

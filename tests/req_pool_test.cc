@@ -1,0 +1,344 @@
+// Coverage for the zero-allocation lock-table hot path: per-transaction
+// request pools (slot reuse across retries), intrusive-queue unlink under
+// cascading abort, the dependents inline -> spill -> shrink round trip,
+// and an assertion-backed "no heap allocations after warmup" check on a
+// synthetic hotspot. Runs under TSan/ASan via scripts/run_sanitizers.sh.
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "src/db/database.h"
+#include "src/db/lock_table.h"
+#include "src/db/txn_handle.h"
+#include "src/storage/row.h"
+#include "tests/test_util.h"
+
+// --- replaceable global allocator, counting every heap allocation ---------
+//
+// The zero-alloc test warms the pools (request slots, dependent pages,
+// version images, arena chunks), snapshots the counter, and asserts the
+// steady-state loop performs zero allocations. Counting stays on for the
+// whole binary; only the assertions look at deltas.
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(al), n) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace bamboo {
+namespace {
+
+struct Fixture {
+  explicit Fixture(Protocol p, bool raw_read = true) {
+    cfg.protocol = p;
+    cfg.bb_opt_raw_read = raw_read;
+    lm = new LockManager(cfg, &ts_counter, &cts_counter);
+  }
+  ~Fixture() { delete lm; }
+
+  Config cfg;
+  std::atomic<uint64_t> ts_counter{0};
+  std::atomic<uint64_t> cts_counter{1};
+  LockManager* lm;
+  Row row{8};
+  char buf[8];
+};
+
+void BeginAttempt(TxnCB* t, uint64_t ts) {
+  t->txn_seq.fetch_add(1, std::memory_order_relaxed);
+  t->ResetForAttempt(false);
+  t->ts.store(ts, std::memory_order_relaxed);
+}
+
+/// A retrying transaction must cycle through the same pool slot: the pool
+/// never grows past its inline capacity for a single-access footprint, and
+/// every release returns the slot.
+void TestSlotReuseAcrossRetries() {
+  Fixture f(Protocol::kBamboo, /*raw_read=*/false);
+  TxnCB t;
+  ThreadStats stats;
+  t.stats = &stats;
+  const uint32_t cap0 = t.pool.capacity();
+  CHECK_EQ(t.pool.live(), 0u);
+  for (int attempt = 0; attempt < 100; attempt++) {
+    BeginAttempt(&t, 1);
+    AccessGrant g = f.lm->Acquire(&f.row, &t, LockType::kEX, f.buf);
+    CHECK(g.rc == AcqResult::kGranted);
+    CHECK_EQ(t.pool.live(), 1u);
+    // Half the attempts abort (the retry shape), half commit.
+    bool commit = (attempt % 2) == 0;
+    if (commit) t.status.store(TxnStatus::kCommitted);
+    f.lm->Release(&f.row, &t, commit);
+    CHECK_EQ(t.pool.live(), 0u);
+  }
+  CHECK_EQ(t.pool.capacity(), cap0);
+  CHECK_EQ(f.lm->OwnerCount(&f.row), 0u);
+  CHECK_EQ(f.lm->RetiredCount(&f.row), 0u);
+}
+
+/// A waiter's slot is pooled too, and survives the waiters -> owners ->
+/// release motion without the pool growing.
+void TestWaiterSlotRoundTrip() {
+  Fixture f(Protocol::kWoundWait);
+  TxnCB holder, waiter;
+  ThreadStats hs, ws;
+  holder.stats = &hs;
+  waiter.stats = &ws;
+  const uint32_t cap0 = waiter.pool.capacity();
+  for (int i = 0; i < 20; i++) {
+    BeginAttempt(&holder, 1);
+    BeginAttempt(&waiter, 2);
+    CHECK(f.lm->Acquire(&f.row, &holder, LockType::kEX, f.buf).rc ==
+          AcqResult::kGranted);
+    CHECK(f.lm->Acquire(&f.row, &waiter, LockType::kSH, f.buf).rc ==
+          AcqResult::kWait);
+    CHECK_EQ(waiter.pool.live(), 1u);
+    holder.status.store(TxnStatus::kCommitted);
+    f.lm->Release(&f.row, &holder, true);
+    CHECK_EQ(waiter.lock_granted.load(), 1u);
+    CHECK(f.lm->CompleteAcquire(&f.row, &waiter, LockType::kSH, f.buf).rc ==
+          AcqResult::kGranted);
+    waiter.status.store(TxnStatus::kCommitted);
+    f.lm->Release(&f.row, &waiter, true);
+    CHECK_EQ(waiter.pool.live(), 0u);
+    CHECK_EQ(holder.pool.live(), 0u);
+  }
+  CHECK_EQ(waiter.pool.capacity(), cap0);
+}
+
+/// Cascading abort across several rows: every dependent is wounded, every
+/// request unlinks cleanly from whatever queue it sits in, and all slots
+/// return to their pools.
+void TestCascadeUnlinkReturnsSlots() {
+  Fixture f(Protocol::kBamboo, /*raw_read=*/false);
+  Row rows[3] = {Row(8), Row(8), Row(8)};
+  TxnCB writer;
+  ThreadStats wstats;
+  writer.stats = &wstats;
+  constexpr int kReaders = 5;
+  TxnCB readers[kReaders];
+  ThreadStats rstats[kReaders];
+
+  BeginAttempt(&writer, 1);
+  for (Row& r : rows) {
+    AccessGrant g = f.lm->Acquire(&r, &writer, LockType::kEX, f.buf);
+    CHECK(g.rc == AcqResult::kGranted);
+    f.lm->Retire(&r, &writer);
+  }
+  CHECK_EQ(writer.pool.live(), 3u);
+  for (int i = 0; i < kReaders; i++) {
+    readers[i].stats = &rstats[i];
+    BeginAttempt(&readers[i], 10 + static_cast<uint64_t>(i));
+    AccessGrant g =
+        f.lm->Acquire(&rows[i % 3], &readers[i], LockType::kSH, f.buf);
+    CHECK(g.rc == AcqResult::kGranted);
+    CHECK(g.dirty);
+    CHECK_EQ(readers[i].commit_semaphore.load(), 1);
+  }
+
+  // The retired writer aborts: every dependent dies with it, on every row.
+  int wounded = 0;
+  for (Row& r : rows) wounded += f.lm->Release(&r, &writer, false);
+  CHECK_EQ(wounded, kReaders);
+  CHECK_EQ(writer.pool.live(), 0u);
+  for (int i = 0; i < kReaders; i++) {
+    CHECK(readers[i].IsAborted());
+    CHECK(readers[i].abort_was_cascade.load());
+    f.lm->Release(&rows[i % 3], &readers[i], false);
+    CHECK_EQ(readers[i].pool.live(), 0u);
+  }
+  for (Row& r : rows) {
+    CHECK_EQ(f.lm->OwnerCount(&r), 0u);
+    CHECK_EQ(f.lm->RetiredCount(&r), 0u);
+    CHECK_EQ(f.lm->WaiterCount(&r), 0u);
+    CHECK_EQ(r.chain().size(), 0u);
+  }
+}
+
+/// Dependents overflow the inline array onto pooled spill pages, shrink
+/// back as dependents release (scrub), and re-spill from recycled pages
+/// without touching the allocator.
+void TestDependentsSpillRoundTrip() {
+  Fixture f(Protocol::kBamboo, /*raw_read=*/false);
+  constexpr uint32_t kReaders =
+      LockReq::kInlineDeps + DepPage::kCap + 3;  // inline + 1.x pages
+  TxnCB writer;
+  ThreadStats wstats, rstats;
+  writer.stats = &wstats;
+  TxnCB readers[kReaders];
+
+  BeginAttempt(&writer, 1);
+  AccessGrant g = f.lm->Acquire(&f.row, &writer, LockType::kEX, f.buf);
+  CHECK(g.rc == AcqResult::kGranted);
+  f.lm->Retire(&f.row, &writer);
+
+  auto attach_readers = [&]() {
+    for (uint32_t i = 0; i < kReaders; i++) {
+      readers[i].stats = &rstats;
+      BeginAttempt(&readers[i], 10 + static_cast<uint64_t>(i));
+      AccessGrant rg = f.lm->Acquire(&f.row, &readers[i], LockType::kSH,
+                                     f.buf);
+      CHECK(rg.rc == AcqResult::kGranted);
+      CHECK(rg.dirty);
+    }
+  };
+  attach_readers();
+  CHECK_EQ(f.lm->DependentCount(&f.row, &writer), kReaders);
+  // Page grabs happen at dependent indices kInlineDeps and
+  // kInlineDeps + kCap: two spills.
+  CHECK_EQ(rstats.pool_spills, 2u);
+
+  // Shrink: all but three readers release; their records are scrubbed and
+  // the now-empty tail pages return to the pool.
+  for (uint32_t i = 3; i < kReaders; i++) {
+    f.lm->Release(&f.row, &readers[i], false);
+  }
+  CHECK_EQ(f.lm->DependentCount(&f.row, &writer), 3u);
+
+  // Re-spill: a second wave of readers pushes past the inline array again,
+  // reusing the recycled pages -- zero new heap allocations.
+  for (uint32_t i = 3; i < kReaders; i++) {
+    BeginAttempt(&readers[i], 10 + static_cast<uint64_t>(i));
+  }
+  uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  for (uint32_t i = 3; i < kReaders; i++) {
+    AccessGrant rg = f.lm->Acquire(&f.row, &readers[i], LockType::kSH,
+                                   f.buf);
+    CHECK(rg.rc == AcqResult::kGranted);
+  }
+  CHECK_EQ(g_allocs.load(std::memory_order_relaxed) - allocs_before, 0u);
+  CHECK_EQ(f.lm->DependentCount(&f.row, &writer), kReaders);
+  CHECK(rstats.pool_spills >= 4u);  // the re-spill grabbed pages again
+
+  // Cleanup: the writer aborts; the whole wave cascades.
+  f.lm->Release(&f.row, &writer, false);
+  for (uint32_t i = 0; i < kReaders; i++) {
+    f.lm->Release(&f.row, &readers[i], false);
+  }
+  CHECK_EQ(f.lm->RetiredCount(&f.row), 0u);
+}
+
+/// The acceptance gate: after a warmup that sizes every pool (request
+/// slots, dependent pages, version images, arena chunks, scratch vectors),
+/// the steady-state hotspot loop -- acquire, fused RMW retire, dirty read,
+/// waiter promote, commit, release -- performs zero heap allocations.
+void TestZeroAllocAfterWarmup() {
+  Config cfg;
+  cfg.protocol = Protocol::kBamboo;
+  cfg.num_threads = 1;
+  Database db(cfg);
+  Schema schema;
+  schema.AddColumn("v", 8);
+  Table* table = db.catalog()->CreateTable("t", schema);
+  HashIndex* index = db.catalog()->CreateIndex("t_pk", 64);
+  for (uint64_t k = 0; k < 64; k++) db.LoadRow(table, index, k);
+
+  TxnCB wcb, rcb, ycb, zcb;
+  ThreadStats stats;
+  wcb.stats = &stats;
+  rcb.stats = &stats;
+  ycb.stats = &stats;
+  zcb.stats = &stats;
+  TxnHandle w(&db, &wcb), r(&db, &rcb);
+  LockManager* lm = db.cc()->locks();
+  Row* park_row = index->Get(63);
+  char buf[8];
+
+  auto begin = [&](TxnCB* cb) {
+    cb->txn_seq.fetch_add(1, std::memory_order_relaxed);
+    cb->ResetForAttempt(false);
+    db.cc()->Begin(cb);
+  };
+  RmwFn bump = [](char* d, void*) {
+    uint64_t v;
+    std::memcpy(&v, d, 8);
+    v++;
+    std::memcpy(d, &v, 8);
+  };
+
+  auto iteration = [&](uint64_t i) {
+    // Writer RMW-retires the hotspot and reads cold rows; the reader
+    // consumes the dirty hotspot value (dependent + commit semaphore) and
+    // reads cold rows; the writer commits first, draining the reader.
+    begin(&wcb);
+    begin(&rcb);
+    wcb.planned_ops = 4;
+    rcb.planned_ops = 4;
+    CHECK(w.UpdateRmw(index, 0, bump, nullptr) == RC::kOk);
+    const char* d = nullptr;
+    CHECK(w.Read(index, 1 + (i % 31), &d) == RC::kOk);
+    CHECK(r.Read(index, 0, &d) == RC::kOk);
+    CHECK(r.Read(index, 32 + (i % 31), &d) == RC::kOk);
+
+    // Waiter path on a second row: a younger reader parks behind an EX
+    // owner, gets promoted by the release, completes, releases.
+    begin(&zcb);
+    begin(&ycb);
+    zcb.ts.store(100, std::memory_order_relaxed);
+    ycb.ts.store(200, std::memory_order_relaxed);
+    CHECK(lm->Acquire(park_row, &zcb, LockType::kEX, buf).rc ==
+          AcqResult::kGranted);
+    CHECK(lm->Acquire(park_row, &ycb, LockType::kSH, buf).rc ==
+          AcqResult::kWait);
+    zcb.status.store(TxnStatus::kCommitted);
+    lm->Release(park_row, &zcb, true);
+    CHECK_EQ(ycb.lock_granted.load(), 1u);
+    CHECK(lm->CompleteAcquire(park_row, &ycb, LockType::kSH, buf).rc ==
+          AcqResult::kGranted);
+    ycb.status.store(TxnStatus::kCommitted);
+    lm->Release(park_row, &ycb, true);
+
+    CHECK(w.Commit(RC::kOk) == RC::kOk);
+    CHECK(r.Commit(RC::kOk) == RC::kOk);
+  };
+
+  for (uint64_t i = 0; i < 64; i++) iteration(i);  // warmup: size the pools
+
+  uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  for (uint64_t i = 0; i < 256; i++) iteration(i);
+  uint64_t delta = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  CHECK_EQ(delta, 0u);
+}
+
+}  // namespace
+}  // namespace bamboo
+
+int main() {
+  using namespace bamboo;
+  RUN_TEST(TestSlotReuseAcrossRetries);
+  RUN_TEST(TestWaiterSlotRoundTrip);
+  RUN_TEST(TestCascadeUnlinkReturnsSlots);
+  RUN_TEST(TestDependentsSpillRoundTrip);
+  RUN_TEST(TestZeroAllocAfterWarmup);
+  return bamboo::test::Summary("req_pool_test");
+}

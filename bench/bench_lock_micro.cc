@@ -166,8 +166,9 @@ void BM_RetiredDependencyChain(benchmark::State& state) {
   // The contended-hotspot primitive: a writer retires an uncommitted
   // update, a reader consumes it dirty (dependent registration + commit
   // semaphore), then both release in commit order. Exercises the retired
-  // list, DepPush/drain, and the promote path -- the operations the
-  // intrusive-queue/pool rework targets.
+  // list, DepPush/drain, and the promote path. Retire and Release go
+  // through the grant tokens, so this measures the O(1) release path the
+  // descriptor API buys (no per-tuple list scan re-locates the request).
   LockMicro m(Protocol::kBamboo);
   LockManager* lm = m.db_->cc()->locks();
   Row* row = m.index_->Get(0);
@@ -176,6 +177,14 @@ void BM_RetiredDependencyChain(benchmark::State& state) {
   reader.stats = &m.stats_;
   char buf[8];
   uint64_t seq = 0;
+  // Descriptors are plain value structs: build once, submit every round.
+  AccessRequest wr;
+  wr.row = row;
+  wr.type = LockType::kEX;
+  AccessRequest rr;
+  rr.row = row;
+  rr.type = LockType::kSH;
+  rr.read_buf = buf;
   for (auto _ : state) {
     seq++;
     writer.txn_seq.store(seq, std::memory_order_relaxed);
@@ -185,19 +194,44 @@ void BM_RetiredDependencyChain(benchmark::State& state) {
     reader.ResetForAttempt(false);
     reader.ts.store(2, std::memory_order_relaxed);
 
-    AccessGrant g = lm->Acquire(row, &writer, LockType::kEX, buf);
-    benchmark::DoNotOptimize(g.write_data);
-    lm->Retire(row, &writer);
-    g = lm->Acquire(row, &reader, LockType::kSH, buf);
-    benchmark::DoNotOptimize(g.dirty);
+    AccessGrant gw = lm->Submit(wr, &writer);
+    benchmark::DoNotOptimize(gw.write_data);
+    lm->Retire(row, gw.token);
+    AccessGrant gr = lm->Submit(rr, &reader);
+    benchmark::DoNotOptimize(gr.dirty);
     writer.status.store(TxnStatus::kCommitted, std::memory_order_release);
-    lm->Release(row, &writer, /*committed=*/true);
+    lm->Release(row, gw.token, /*committed=*/true);
     reader.status.store(TxnStatus::kCommitted, std::memory_order_release);
-    lm->Release(row, &reader, /*committed=*/true);
+    lm->Release(row, gr.token, /*committed=*/true);
   }
   ReportHotPathCounters(state, m.stats_);
 }
 BENCHMARK(BM_RetiredDependencyChain);
+
+void BM_MultiGet16(benchmark::State& state) {
+  // 16 uncontended reads through the batch API: one sort + dedup pass and
+  // a single pool reservation instead of 16 per-key entries. Compare with
+  // BM_Txn16Ops for the batching win on the same footprint size.
+  LockMicro m(Protocol::kBamboo);
+  TxnHandle handle(m.db_.get(), &m.txn_);
+  uint64_t key = 0;
+  uint64_t keys[16];
+  const char* data[16];
+  for (auto _ : state) {
+    m.txn_.txn_seq++;
+    m.txn_.ResetForAttempt(false);
+    m.db_->cc()->Begin(&m.txn_);
+    m.txn_.planned_ops = 16;
+    for (int i = 0; i < 16; i++) {
+      key = (key + 17) % LockMicro::kRows;
+      keys[i] = key;
+    }
+    benchmark::DoNotOptimize(handle.ReadMany(m.index_, keys, 16, data));
+    handle.Commit(RC::kOk);
+  }
+  ReportHotPathCounters(state, m.stats_);
+}
+BENCHMARK(BM_MultiGet16);
 
 void BM_IndexGet(benchmark::State& state) {
   LockMicro m(Protocol::kBamboo);

@@ -1,0 +1,68 @@
+// Batch multi-key access API: the single-hotspot synthetic workload issued
+// as per-key statements vs. multi-key batches (TxnHandle::ReadMany /
+// UpdateRmwMany -- sorted keys, one pool reservation, one dedup pass, one
+// interactive RTT per batch). The batched rows measure what TXSQL-style
+// multi-get buys on top of the grant-token O(1) release path.
+#include "bench/bench_common.h"
+
+namespace bamboo {
+namespace bench {
+namespace {
+
+void RunMode(const Options& opt, ExecMode mode, const char* mode_name) {
+  TablePrinter tbl(
+      std::string("Multi-key batch API, single hotspot at start, ") +
+          mode_name,
+      {"ops/txn", "access", "BAMBOO(txn/s)", "WOUND_WAIT(txn/s)",
+       "NO_WAIT(txn/s)", "BAMBOO_speedup"});
+  const Protocol protocols[] = {Protocol::kBamboo, Protocol::kWoundWait,
+                                Protocol::kNoWait};
+  for (int ops : {16, 64}) {
+    double scalar_bamboo = 0;
+    for (bool batched : {false, true}) {
+      std::vector<std::string> cells = {Fmt(ops, 0),
+                                        batched ? "batched" : "per-key"};
+      double bamboo_tput = 0;
+      for (Protocol p : protocols) {
+        Config cfg = opt.BaseConfig();
+        cfg.protocol = p;
+        cfg.mode = mode;
+        cfg.num_threads = opt.full ? 32 : 8;
+        cfg.synth_ops_per_txn = ops;
+        cfg.synth_num_hotspots = 1;
+        cfg.synth_hotspot_pos[0] = 0.0;
+        cfg.synth_batch_ops = batched;
+        RunResult r = RunSynthetic(cfg);
+        if (p == Protocol::kBamboo) bamboo_tput = r.Throughput();
+        cells.push_back(FmtThroughput(r));
+      }
+      if (!batched) {
+        scalar_bamboo = bamboo_tput;
+        cells.push_back("-");
+      } else {
+        cells.push_back(scalar_bamboo > 0
+                            ? Fmt(bamboo_tput / scalar_bamboo, 2)
+                            : "-");
+      }
+      tbl.AddRow(cells);
+    }
+  }
+  tbl.Print(mode == ExecMode::kStoredProcedure
+                ? "batching saves per-statement dispatch; biggest win "
+                  "interactive (one RTT per batch)"
+                : "one 50us RTT per batch instead of per key");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bamboo
+
+int main() {
+  using namespace bamboo::bench;
+  Options opt = FromEnv();
+  RunMode(opt, bamboo::ExecMode::kStoredProcedure, "stored-procedure");
+  bamboo::bench::Options iopt = opt;
+  iopt.duration = opt.duration * 2;  // interactive throughput is RTT-bound
+  RunMode(iopt, bamboo::ExecMode::kInteractive, "interactive (50us RTT)");
+  return 0;
+}

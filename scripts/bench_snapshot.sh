@@ -1,13 +1,15 @@
 #!/usr/bin/env sh
 # Emit a JSON snapshot of the headline throughput numbers so every PR can
 # extend the perf trajectory: single-hotspot (8 threads, all protocols'
-# headline BAMBOO row) and the lock-table microbenchmarks.
+# headline BAMBOO row) and the lock-table microbenchmarks, including the
+# release-path primitives the grant-token API targets
+# (BM_RetiredDependencyChain) and the multi-key batch read (BM_MultiGet16).
 # Usage: scripts/bench_snapshot.sh [build-dir] [out.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr4.json}"
+OUT="${2:-BENCH_pr5.json}"
 
 if [ ! -x "$BUILD_DIR/bench_single_hotspot" ]; then
   cmake -B "$BUILD_DIR" -S .
@@ -27,18 +29,22 @@ bamboo_tput=$(printf '%s\n' "$hot_out" | awk '$1=="BAMBOO"'" $to_num")
 ww_tput=$(printf '%s\n' "$hot_out" | awk '$1=="WOUND_WAIT"'" $to_num")
 
 # Lock-table microbenchmarks (ns/op), when google-benchmark is available.
-sh_ns=null; ex_ns=null; txn16_ns=null
+sh_ns=null; ex_ns=null; txn16_ns=null; chain_ns=null; multiget_ns=null
 if [ -x "$BUILD_DIR/bench_lock_micro" ]; then
   micro_out=$("$BUILD_DIR/bench_lock_micro" --benchmark_min_time=0.2 \
-              --benchmark_filter='BM_AcquireReleaseSh|BM_AcquireRetireReleaseEx|BM_Txn16Ops' \
+              --benchmark_filter='BM_AcquireReleaseSh|BM_AcquireRetireReleaseEx|BM_Txn16Ops|BM_RetiredDependencyChain|BM_MultiGet16' \
               2>/dev/null)
   pick='{print $2+0; exit}'
   sh_ns=$(printf '%s\n' "$micro_out" | awk '$1=="BM_AcquireReleaseSh"'" $pick")
   ex_ns=$(printf '%s\n' "$micro_out" | awk '$1=="BM_AcquireRetireReleaseEx"'" $pick")
   txn16_ns=$(printf '%s\n' "$micro_out" | awk '$1=="BM_Txn16Ops"'" $pick")
+  chain_ns=$(printf '%s\n' "$micro_out" | awk '$1=="BM_RetiredDependencyChain"'" $pick")
+  multiget_ns=$(printf '%s\n' "$micro_out" | awk '$1=="BM_MultiGet16"'" $pick")
   [ -n "$sh_ns" ] || sh_ns=null
   [ -n "$ex_ns" ] || ex_ns=null
   [ -n "$txn16_ns" ] || txn16_ns=null
+  [ -n "$chain_ns" ] || chain_ns=null
+  [ -n "$multiget_ns" ] || multiget_ns=null
 fi
 
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -56,7 +62,9 @@ cat > "$OUT" <<EOF
   "lock_micro_ns": {
     "acquire_release_sh": $sh_ns,
     "acquire_retire_release_ex": $ex_ns,
-    "txn_16_ops": $txn16_ns
+    "txn_16_ops": $txn16_ns,
+    "retired_dependency_chain": $chain_ns,
+    "multiget_16": $multiget_ns
   }
 }
 EOF

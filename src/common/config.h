@@ -73,6 +73,11 @@ struct Config {
   int synth_ops_per_txn = 16;
   int synth_num_hotspots = 1;    ///< 0..2 read-modify-write hotspots
   double synth_hotspot_pos[2] = {0.0, 1.0};  ///< position in [0,1] within txn
+  /// Batched variant: hotspot RMWs issue through UpdateRmwMany (positions
+  /// collapse to the front) and the cold reads through ReadMany, so the
+  /// whole transaction is a handful of multi-key statements. Exercised by
+  /// bench_multiget.
+  bool synth_batch_ops = false;
 
   // --- YCSB.
   uint64_t ycsb_rows = 100000;

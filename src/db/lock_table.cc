@@ -170,10 +170,9 @@ void DropDependentRecords(LockEntry* e, const TxnCB* txn) {
   }
 }
 
-/// Find the request belonging to (txn, seq); erase stays O(1) on the
-/// intrusive list once found. The scan is short by construction: hotspot
-/// queues hold one request per active transaction on that tuple.
-LockReq* FindReq(ReqList* list, const TxnCB* txn, uint64_t seq) {
+/// Locate a request by (txn, seq). Inspection helpers only: the access hot
+/// path carries GrantTokens end to end and never re-locates a request.
+LockReq* FindReqForInspection(ReqList* list, const TxnCB* txn, uint64_t seq) {
   for (LockReq* r = list->head; r != nullptr; r = r->next) {
     if (r->txn == txn && r->seq == seq) return r;
   }
@@ -231,6 +230,9 @@ void ReqPool::Grow() {
 }
 
 LockReq* ReqPool::Alloc() {
+  // A missed Reserve() would grow a slab under the entry latch; catch it
+  // in debug builds, keep the growth as a release-build backstop.
+  assert(free_ != nullptr && "ReqPool::Alloc without a prior Reserve()");
   if (free_ == nullptr) Grow();
   LockReq* r = free_;
   free_ = r->next;
@@ -238,6 +240,8 @@ LockReq* ReqPool::Alloc() {
   r->prev = nullptr;
   r->next = nullptr;
   r->queue = ReqQueue::kNone;
+  r->upgrading = false;
+  r->write_data = nullptr;
   r->dep_count = 0;
   r->dep_head = nullptr;
   r->dep_tail = nullptr;
@@ -307,45 +311,58 @@ LockReq* LockManager::MakeReq(TxnCB* txn, uint64_t seq, LockType type,
   return r;
 }
 
-AccessGrant LockManager::Acquire(Row* row, TxnCB* txn, LockType type,
-                                 char* read_buf) {
-  t_exec_stats = txn->stats;  // acquires only run on the owning thread
-  AccessGrant grant =
-      AcquireLocked(row, txn, type, read_buf, nullptr, nullptr, false);
+AccessGrant LockManager::Submit(const AccessRequest& req, TxnCB* txn) {
+  t_exec_stats = txn->stats;  // submits only run on the owning thread
+  AccessGrant grant = req.upgrade_of != nullptr ? UpgradeLocked(req, txn)
+                                                : SubmitLocked(req, txn);
   DrainCompletions();
   return grant;
 }
 
-AccessGrant LockManager::AcquireRmw(Row* row, TxnCB* txn, RmwFn fn, void* arg,
-                                    bool retire_now) {
-  t_exec_stats = txn->stats;
-  AccessGrant grant =
-      AcquireLocked(row, txn, LockType::kEX, nullptr, fn, arg, retire_now);
-  DrainCompletions();
-  return grant;
-}
-
-AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
-                                       char* read_buf, RmwFn rmw_fn,
-                                       void* rmw_arg, bool rmw_retire) {
+AccessGrant LockManager::SubmitLocked(const AccessRequest& req, TxnCB* txn) {
+  Row* row = req.row;
+  const LockType type = req.type;
   LockEntry* e = row->Lock();
   txn->pool.Reserve();  // any slab growth happens before the latch
   LatchGuard g(&e->latch, txn->stats);
   const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
 
+  // Uncontended fast path: a fully empty entry grants immediately under
+  // every protocol -- no conflict gather, no timestamp assignment, no
+  // wound decision can apply. Only the Bamboo pinned-read-only rule and
+  // the snapshot validation still gate the grant (inside GrantNow; its
+  // barrier registration is a no-op on the empty retired list).
+  if (e->owners.head == nullptr && e->retired.head == nullptr &&
+      e->waiters.head == nullptr) {
+    if (type == LockType::kEX && cfg_.protocol == Protocol::kBamboo &&
+        txn->raw_snapshot_cts.load(std::memory_order_relaxed) != 0) {
+      txn->raw_suppressed = true;
+      AccessGrant a;
+      a.rc = AcqResult::kAbort;
+      return a;
+    }
+    return GrantNow(e, row, txn, req, seq);
+  }
+
   // Gather conflicts. Self re-acquisition never reaches the lock manager
-  // (TxnHandle deduplicates accesses). Thread-local scratch keeps the
-  // allocator out of the latch-held critical section; AcquireLocked is
-  // never re-entered on a thread (completions only run Release).
+  // (TxnHandle deduplicates accesses; upgrades go through UpgradeLocked).
+  // Thread-local scratch keeps the allocator out of the latch-held
+  // critical section; SubmitLocked is never re-entered on a thread
+  // (completions only run Release). A pending SH->EX upgrade conflicts as
+  // EX (EffectiveType) so nothing grants past -- or stacks behind -- it.
   thread_local std::vector<LockReq*> c_owners;
   thread_local std::vector<LockReq*> c_retired;
   c_owners.clear();
   c_retired.clear();
   for (LockReq* o = e->owners.head; o != nullptr; o = o->next) {
-    if (o->txn != txn && Conflicts(o->type, type)) c_owners.push_back(o);
+    if (o->txn != txn && Conflicts(EffectiveType(*o), type)) {
+      c_owners.push_back(o);
+    }
   }
   for (LockReq* r = e->retired.head; r != nullptr; r = r->next) {
-    if (r->txn != txn && Conflicts(r->type, type)) c_retired.push_back(r);
+    if (r->txn != txn && Conflicts(EffectiveType(*r), type)) {
+      c_retired.push_back(r);
+    }
   }
   bool older_conflicting_waiter = false;
 
@@ -386,9 +403,12 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
       }
       if (!c_owners.empty()) {
         txn->lock_granted.store(0, std::memory_order_relaxed);
-        InsertWaiter(e, MakeReq(txn, seq, type, rmw_fn, rmw_arg, rmw_retire));
+        LockReq* wreq =
+            MakeReq(txn, seq, type, req.rmw_fn, req.rmw_arg, req.retire_now);
+        InsertWaiter(e, wreq);
         AccessGrant a;
         a.rc = AcqResult::kWait;
+        a.token = wreq;
         return a;
       }
       break;
@@ -403,9 +423,12 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
       }
       if (!c_owners.empty() || older_conflicting_waiter) {
         txn->lock_granted.store(0, std::memory_order_relaxed);
-        InsertWaiter(e, MakeReq(txn, seq, type, rmw_fn, rmw_arg, rmw_retire));
+        LockReq* wreq =
+            MakeReq(txn, seq, type, req.rmw_fn, req.rmw_arg, req.retire_now);
+        InsertWaiter(e, wreq);
         AccessGrant a;
         a.rc = AcqResult::kWait;
+        a.token = wreq;
         return a;
       }
       break;
@@ -454,7 +477,7 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
              (!txn->raw_suppressed &&
               !txn->wrote_any.load(std::memory_order_relaxed) &&
               txn->commit_semaphore.load(std::memory_order_acquire) == 0))) {
-          return RawSnapshotRead(row, txn, read_buf);
+          return RawSnapshotRead(row, txn, req.read_buf);
         }
       }
 
@@ -465,19 +488,30 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
         if (OlderThan(txn, o->txn)) WoundAndClaim(o->txn, /*cascade=*/false);
       }
       bool younger_retired_present = false;
+      bool retired_upgrade_block = false;
       for (LockReq* r : c_retired) {
         if (HolderCommitted(*r)) continue;
+        // Never grant past -- or stack a barrier behind -- a pending
+        // upgrade: the upgrader waits for the entry to drain, so a grant
+        // registered behind it would wait for the upgrader's commit while
+        // the upgrader waits for the grant's release (a commit-order
+        // deadlock). Enqueue instead; WaiterEligible holds waiters back
+        // until the upgrade resolves.
+        if (r->upgrading) retired_upgrade_block = true;
         if (OlderThan(txn, r->txn)) {
           WoundAndClaim(r->txn, /*cascade=*/false);
           younger_retired_present = true;  // stays until it rolls back
         }
       }
       if (!c_owners.empty() || younger_retired_present ||
-          older_conflicting_waiter) {
+          retired_upgrade_block || older_conflicting_waiter) {
         txn->lock_granted.store(0, std::memory_order_relaxed);
-        InsertWaiter(e, MakeReq(txn, seq, type, rmw_fn, rmw_arg, rmw_retire));
+        LockReq* wreq =
+            MakeReq(txn, seq, type, req.rmw_fn, req.rmw_arg, req.retire_now);
+        InsertWaiter(e, wreq);
         AccessGrant a;
         a.rc = AcqResult::kWait;
+        a.token = wreq;
         return a;
       }
       break;
@@ -487,45 +521,232 @@ AccessGrant LockManager::AcquireLocked(Row* row, TxnCB* txn, LockType type,
       break;  // Silo never reaches the lock manager
   }
 
-  // Immediate grant. Fresh Bamboo reads go straight into the retired list
-  // (Opt 1) without the owners round trip; everything else becomes an
-  // owner first.
-  LockReq* req = MakeReq(txn, seq, type, rmw_fn, rmw_arg, rmw_retire);
+  // Immediate grant.
+  AccessGrant grant = GrantNow(e, row, txn, req, seq);
+  if (cfg_.protocol == Protocol::kWaitDie) WaitDieRepair(e);
+  return grant;
+}
+
+/// Shared immediate-grant tail (fast path and post-conflict-check path):
+/// allocate the request, validate/observe the snapshot, register barriers,
+/// create the version / copy the image, apply a fused RMW, and place the
+/// request. Fresh Bamboo reads go straight into the retired list (Opt 1)
+/// without the owners round trip; a fused RMW with retire_now retires in
+/// the same latch hold -- the row is never seen in a half-written owner
+/// state, so no waiter convoy can seed behind a preempted writer.
+/// Force-inlined into both call sites: one source copy, but the compiler
+/// keeps folding the descriptor fields each site already has in registers
+/// (outlining this cost a measurable ~10ns per grant).
+__attribute__((always_inline)) inline AccessGrant LockManager::GrantNow(
+    LockEntry* e, Row* row, TxnCB* txn, const AccessRequest& req,
+    uint64_t seq) {
+  const LockType type = req.type;
+  LockReq* r =
+      MakeReq(txn, seq, type, req.rmw_fn, req.rmw_arg, req.retire_now);
   AccessGrant grant;
   grant.rc = AcqResult::kGranted;
+  grant.token = r;
   ValidateSnapshotObservation(row, txn, type);
   grant.dirty = RegisterBarrier(e, txn, type, seq);
   if (type == LockType::kEX) {
     txn->wrote_any.store(true, std::memory_order_relaxed);
     grant.write_data = row->PushVersion(txn, seq);
-    if (rmw_fn != nullptr) {
-      // Fused RMW: apply and (for Bamboo, outside the Opt-2 tail) retire
-      // in the same latch hold -- the row is never seen in a half-written
-      // owner state, so no waiter convoy can seed behind a preempted
-      // writer.
-      rmw_fn(grant.write_data, rmw_arg);
-      if (rmw_retire) {
-        e->retired.PushBack(req, ReqQueue::kRetired);
+    r->write_data = grant.write_data;
+    if (req.rmw_fn != nullptr) {
+      req.rmw_fn(grant.write_data, req.rmw_arg);
+      if (req.retire_now) {
+        e->retired.PushBack(r, ReqQueue::kRetired);
         grant.retired = true;
       } else {
-        e->owners.PushBack(req, ReqQueue::kOwners);
+        e->owners.PushBack(r, ReqQueue::kOwners);
       }
     } else {
-      e->owners.PushBack(req, ReqQueue::kOwners);
+      e->owners.PushBack(r, ReqQueue::kOwners);
     }
   } else {
-    std::memcpy(read_buf, row->NewestData(), row->size());
+    CopyRowImage(req.read_buf, row->NewestData(), row->size());
     if (grant.dirty && txn->stats != nullptr) txn->stats->dirty_reads++;
     if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_read_retire) {
-      e->retired.PushBack(req, ReqQueue::kRetired);
+      e->retired.PushBack(r, ReqQueue::kRetired);
       grant.retired = true;
     } else {
-      e->owners.PushBack(req, ReqQueue::kOwners);
+      e->owners.PushBack(r, ReqQueue::kOwners);
     }
   }
-  if (cfg_.protocol == Protocol::kWaitDie) WaitDieRepair(e);
   return grant;
 }
+
+// --- SH -> EX upgrades ------------------------------------------------------
+
+AccessGrant LockManager::UpgradeLocked(const AccessRequest& req, TxnCB* txn) {
+  Row* row = req.row;
+  LockReq* r = req.upgrade_of;
+  LockEntry* e = row->Lock();
+  LatchGuard g(&e->latch, txn->stats);
+  AccessGrant a;
+  if (txn->IsAborted()) {
+    a.rc = AcqResult::kAbort;
+    return a;
+  }
+  if (r->type == LockType::kEX) {  // already upgraded: idempotent
+    a.rc = AcqResult::kGranted;
+    a.token = r;
+    a.write_data = r->write_data;
+    a.retired = r->queue == ReqQueue::kRetired;
+    return a;
+  }
+  // Pinned transactions are read-only (Opt 3): same rule as a fresh EX
+  // acquire -- abort before wounding anyone, suppress raw reads on retry.
+  if (cfg_.protocol == Protocol::kBamboo &&
+      txn->raw_snapshot_cts.load(std::memory_order_relaxed) != 0) {
+    txn->raw_suppressed = true;
+    a.rc = AcqResult::kAbort;
+    return a;
+  }
+  // Record the write intent on the node so a promoting thread can finish
+  // the grant (version + RMW + queue placement) on our behalf.
+  r->rmw_fn = req.rmw_fn;
+  r->rmw_arg = req.rmw_arg;
+  r->rmw_retire = req.retire_now;
+
+  // Conflicts: every other owner plus every other uncommitted retired
+  // entry (an EX request conflicts with everything). The SH link itself is
+  // never dropped, so the read stays continuously protected -- upgrades
+  // violate no 2PL rule.
+  thread_local std::vector<LockReq*> c_holders;
+  c_holders.clear();
+  for (LockReq* o = e->owners.head; o != nullptr; o = o->next) {
+    if (o != r) c_holders.push_back(o);
+  }
+  for (LockReq* q = e->retired.head; q != nullptr; q = q->next) {
+    if (q != r && !HolderCommitted(*q)) c_holders.push_back(q);
+  }
+  if (!c_holders.empty()) {
+    for (LockReq* h : c_holders) EnsureTs(h->txn);
+    EnsureTs(txn);
+  }
+
+  switch (cfg_.protocol) {
+    case Protocol::kNoWait:
+      if (!c_holders.empty()) {
+        a.rc = AcqResult::kAbort;
+        return a;
+      }
+      break;
+    case Protocol::kWaitDie: {
+      // Wait-die: the upgrader may wait only if it is older than every
+      // conflicting holder (this also resolves the classic dual-upgrade
+      // deadlock: the younger of two upgrading readers dies here).
+      for (LockReq* h : c_holders) {
+        if (!OlderThan(txn, h->txn)) {
+          a.rc = AcqResult::kAbort;
+          return a;
+        }
+      }
+      break;
+    }
+    case Protocol::kWoundWait:
+    case Protocol::kIc3:
+    case Protocol::kBamboo:
+      // Wound-wait: younger conflicting holders die (the dual-upgrade case
+      // resolves the same way -- the younger upgrader is itself a holder).
+      for (LockReq* h : c_holders) {
+        if (OlderThan(txn, h->txn)) WoundAndClaim(h->txn, /*cascade=*/false);
+      }
+      break;
+    case Protocol::kSilo:
+      break;  // Silo promotes in its own write set, never here
+  }
+
+  if (UpgradeEligible(e, *r)) {
+    a = GrantUpgrade(e, row, r);
+    // A retiring RMW upgrade (or wait-die's stricter conflict shape) can
+    // change waiter eligibility; re-evaluate.
+    PromoteWaiters(e, row);
+    return a;
+  }
+
+  // Pend: keep the SH link (the read stays protected) but conflict as EX
+  // from now on, so new readers queue behind the upgrade instead of
+  // starving it. The releasing thread that drains the entry grants the
+  // upgrade (TryGrantUpgrade) and completes it wholesale.
+  r->upgrading = true;
+  (r->queue == ReqQueue::kRetired ? e->retired : e->owners).ex_count++;
+  e->upgrades_pending++;
+  txn->lock_granted.store(0, std::memory_order_relaxed);
+  // The pending upgrade just made previously-compatible waiters conflict
+  // with an older holder -- the edge wait-die forbids.
+  if (cfg_.protocol == Protocol::kWaitDie) WaitDieRepair(e);
+  a.rc = AcqResult::kWait;
+  a.token = r;
+  return a;
+}
+
+bool LockManager::UpgradeEligible(LockEntry* e, const LockReq& r) const {
+  // Sole owner (besides the upgrading request itself)...
+  uint32_t others = e->owners.size - (r.queue == ReqQueue::kOwners ? 1u : 0u);
+  if (others != 0) return false;
+  // ...and every other uncommitted retired entry is older: the upgrade
+  // then stacks behind them with commit barriers exactly like a fresh EX
+  // grant. Wounded younger stragglers must finish rolling back first.
+  for (const LockReq* q = e->retired.head; q != nullptr; q = q->next) {
+    if (q == &r || HolderCommitted(*q)) continue;
+    if (!OlderThan(q->txn, r.txn)) return false;
+  }
+  return true;
+}
+
+AccessGrant LockManager::GrantUpgrade(LockEntry* e, Row* row, LockReq* r) {
+  TxnCB* txn = r->txn;
+  (r->queue == ReqQueue::kRetired ? e->retired : e->owners).Remove(r);
+  if (r->upgrading) {
+    r->upgrading = false;
+    e->upgrades_pending--;
+  }
+  r->type = LockType::kEX;
+  AccessGrant g;
+  g.rc = AcqResult::kGranted;
+  g.token = r;
+  ValidateSnapshotObservation(row, txn, LockType::kEX);
+  g.dirty = RegisterBarrier(e, txn, LockType::kEX, r->seq);
+  txn->wrote_any.store(true, std::memory_order_relaxed);
+  g.write_data = row->PushVersion(txn, r->seq);
+  r->write_data = g.write_data;
+  if (r->rmw_fn != nullptr) {
+    r->rmw_fn(g.write_data, r->rmw_arg);
+    if (r->rmw_retire) {
+      e->retired.PushBack(r, ReqQueue::kRetired);
+      g.retired = true;
+      return g;
+    }
+  }
+  e->owners.PushBack(r, ReqQueue::kOwners);
+  return g;
+}
+
+void LockManager::TryGrantUpgrade(LockEntry* e, Row* row) {
+  // At most one *alive* upgrade can pend per entry (the protocols kill or
+  // wound the younger of two upgrading readers), but a wounded one may
+  // still be linked until its rollback -- hence the scan under the count.
+  LockReq* up = nullptr;
+  for (LockReq* r = e->owners.head; r != nullptr && up == nullptr;
+       r = r->next) {
+    if (r->upgrading && !r->txn->IsAborted()) up = r;
+  }
+  for (LockReq* r = e->retired.head; r != nullptr && up == nullptr;
+       r = r->next) {
+    if (r->upgrading && !r->txn->IsAborted()) up = r;
+  }
+  if (up == nullptr || !UpgradeEligible(e, *up)) return;
+  TxnCB* t = up->txn;
+  GrantUpgrade(e, row, up);
+  // 2 = fully granted (version created, RMW applied if any); Resume reads
+  // the final state off the token.
+  t->lock_granted.store(2, std::memory_order_release);
+  t->Notify();
+}
+
+// ---------------------------------------------------------------------------
 
 AccessGrant LockManager::RawSnapshotRead(Row* row, TxnCB* txn,
                                          char* read_buf) {
@@ -563,7 +784,7 @@ AccessGrant LockManager::RawSnapshotRead(Row* row, TxnCB* txn,
     a.rc = AcqResult::kAbort;
     return a;
   }
-  std::memcpy(read_buf, src, row->size());
+  CopyRowImage(read_buf, src, row->size());
   if (txn->stats != nullptr) txn->stats->raw_reads++;
   a.rc = AcqResult::kGranted;
   a.took_lock = false;
@@ -609,7 +830,7 @@ bool LockManager::RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type,
   bool dirty = false;
   bool newest = true;
   for (LockReq* it = e->retired.tail; it != nullptr; it = it->prev) {
-    if (it->txn == txn || !Conflicts(it->type, type)) continue;
+    if (it->txn == txn || !Conflicts(EffectiveType(*it), type)) continue;
     if (newest) {
       dirty = !HolderCommitted(*it);
       newest = false;
@@ -624,83 +845,85 @@ bool LockManager::RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type,
   return dirty;
 }
 
-AccessGrant LockManager::CompleteAcquire(Row* row, TxnCB* txn, LockType type,
-                                         char* read_buf) {
-  t_exec_stats = txn->stats;  // completes only run on the owning thread
-  LockEntry* e = row->Lock();
+AccessGrant LockManager::Resume(const AccessRequest& req, TxnCB* txn,
+                                GrantToken token) {
+  t_exec_stats = txn->stats;  // resumes only run on the owning thread
+  AccessGrant grant = ResumeLocked(req, txn, token);
+  DrainCompletions();
+  return grant;
+}
+
+AccessGrant LockManager::ResumeLocked(const AccessRequest& req, TxnCB* txn,
+                                      GrantToken token) {
+  LockEntry* e = req.row->Lock();
   LatchGuard g(&e->latch, txn->stats);
   if (txn->IsAborted()) {
     AccessGrant a;
     a.rc = AcqResult::kAbort;
     return a;
   }
-  return FinalizeGrant(e, row, txn, type, read_buf);
-}
-
-AccessGrant LockManager::CompleteAcquireRmw(Row* row, TxnCB* txn) {
-  t_exec_stats = txn->stats;
-  LockEntry* e = row->Lock();
-  LatchGuard g(&e->latch, txn->stats);
-  AccessGrant a;
-  if (txn->IsAborted()) {
-    a.rc = AcqResult::kAbort;
+  if (req.rmw_fn != nullptr || req.upgrade_of != nullptr) {
+    // The promoting thread completed the grant wholesale (version created,
+    // RMW applied, queue placement final): report the state off the token.
+    AccessGrant a;
+    a.rc = AcqResult::kGranted;
+    a.token = token;
+    a.write_data = token->write_data;
+    a.retired = token->queue == ReqQueue::kRetired;
     return a;
   }
-  const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
-  a.rc = AcqResult::kGranted;
-  a.write_data = row->FindVersion(txn, seq);
-  a.retired = FindReq(&e->retired, txn, seq) != nullptr;
-  return a;
+  return FinalizeGrant(e, req.row, txn, req.type, req.read_buf, token);
 }
 
 AccessGrant LockManager::FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn,
-                                       LockType type, char* read_buf) {
-  const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
+                                       LockType type, char* read_buf,
+                                       GrantToken token) {
+  const uint64_t seq = token->seq;
   AccessGrant grant;
   grant.rc = AcqResult::kGranted;
+  grant.token = token;
   ValidateSnapshotObservation(row, txn, type);
   grant.dirty = RegisterBarrier(e, txn, type, seq);
 
   if (type == LockType::kEX) {
     txn->wrote_any.store(true, std::memory_order_relaxed);
     grant.write_data = row->PushVersion(txn, seq);
+    token->write_data = grant.write_data;
   } else {
     // Copy under the latch: the version could be popped by a committing
     // writer the instant the latch drops.
-    std::memcpy(read_buf, row->NewestData(), row->size());
+    CopyRowImage(read_buf, row->NewestData(), row->size());
     if (grant.dirty && txn->stats != nullptr) txn->stats->dirty_reads++;
-    if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_read_retire) {
-      // Opt 1: the read is complete, retire inside the same latch hold.
-      LockReq* own = FindReq(&e->owners, txn, seq);
-      if (own != nullptr) {
-        e->owners.Remove(own);
-        e->retired.PushBack(own, ReqQueue::kRetired);
-        grant.retired = true;
-        PromoteWaiters(e, row);
-      }
+    if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_read_retire &&
+        token->queue == ReqQueue::kOwners) {
+      // Opt 1: the read is complete, retire inside the same latch hold --
+      // straight off the token, no owners scan.
+      e->owners.Remove(token);
+      e->retired.PushBack(token, ReqQueue::kRetired);
+      grant.retired = true;
+      PromoteWaiters(e, row);
     }
   }
   return grant;
 }
 
-void LockManager::Retire(Row* row, TxnCB* txn) {
+void LockManager::Retire(Row* row, GrantToken token) {
+  TxnCB* txn = token->txn;
   t_exec_stats = txn->stats;  // retires only run on the owning thread
   LockEntry* e = row->Lock();
   LatchGuard g(&e->latch, txn->stats);
-  LockReq* own = FindReq(&e->owners, txn,
-                         txn->txn_seq.load(std::memory_order_relaxed));
-  if (own == nullptr) return;  // already aborted/released concurrently
-  e->owners.Remove(own);
-  e->retired.PushBack(own, ReqQueue::kRetired);
+  if (token->queue != ReqQueue::kOwners) return;  // aborted concurrently
+  e->owners.Remove(token);
+  e->retired.PushBack(token, ReqQueue::kRetired);
   PromoteWaiters(e, row);
 }
 
-int LockManager::Release(Row* row, TxnCB* txn, bool committed) {
+int LockManager::Release(Row* row, GrantToken token, bool committed) {
   // Inside a completion drain this thread is finishing someone else's
   // transaction; keep charging latch contention to the thread's own
   // worker stats (set by the outer public call), never the origin's.
-  if (!t_draining) t_exec_stats = txn->stats;
-  int wounded = ReleaseLocked(row, txn, committed);
+  if (!t_draining) t_exec_stats = token->txn->stats;
+  int wounded = ReleaseLocked(row, token, committed);
   DrainCompletions();
   return wounded;
 }
@@ -732,44 +955,47 @@ int LockManager::RetireDependentsAndFree(LockReq* req, bool committed) {
   return wounded;
 }
 
-int LockManager::ReleaseLocked(Row* row, TxnCB* txn, bool committed) {
+int LockManager::ReleaseLocked(Row* row, GrantToken req, bool committed) {
   LockEntry* e = row->Lock();
   LatchGuard g(&e->latch, t_exec_stats);
-  const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
+  TxnCB* txn = req->txn;
 
   int wounded = 0;
-  LockReq* req;
-  if (cfg_.protocol == Protocol::kBamboo) {
-    // Most Bamboo footprint lives in the retired list; search it first.
-    req = FindReq(&e->retired, txn, seq);
-    if (req == nullptr) req = FindReq(&e->owners, txn, seq);
-  } else {
-    req = FindReq(&e->owners, txn, seq);
-    if (req == nullptr) req = FindReq(&e->retired, txn, seq);
-  }
-  if (req != nullptr) {
-    (req->queue == ReqQueue::kRetired ? e->retired : e->owners).Remove(req);
-    const bool track_cts =
-        cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read;
-    if (req->type == LockType::kEX) {
-      if (committed) {
-        // The committer drew its CTS before releasing, so the stamp is
-        // available here (0 only for test-driven manual commits, which
-        // keeps their rows' CTS bookkeeping inert).
-        row->CommitVersion(txn, seq,
-                           txn->commit_cts.load(std::memory_order_acquire),
-                           /*retain=*/track_cts);
-      } else {
-        row->AbortVersion(txn, seq);
+  switch (req->queue) {
+    case ReqQueue::kWaiters:
+      // Never granted (rollback of a parked request): no version, no
+      // dependents of its own.
+      e->waiters.Remove(req);
+      txn->pool.Free(req);
+      break;
+    case ReqQueue::kOwners:
+    case ReqQueue::kRetired: {
+      (req->queue == ReqQueue::kRetired ? e->retired : e->owners).Remove(req);
+      if (req->upgrading) {
+        // Wounded while the upgrade was pending: the request is still the
+        // original SH and no version exists yet.
+        req->upgrading = false;
+        e->upgrades_pending--;
       }
+      if (req->type == LockType::kEX) {
+        const bool track_cts =
+            cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read;
+        if (committed) {
+          // The committer drew its CTS before releasing, so the stamp is
+          // available here (0 only for test-driven manual commits, which
+          // keeps their rows' CTS bookkeeping inert).
+          row->CommitVersion(txn, req->seq,
+                             txn->commit_cts.load(std::memory_order_acquire),
+                             /*retain=*/track_cts);
+        } else {
+          row->AbortVersion(txn, req->seq);
+        }
+      }
+      wounded = RetireDependentsAndFree(req, committed);
+      break;
     }
-    wounded = RetireDependentsAndFree(req, committed);
-  } else {
-    LockReq* wtr = FindReq(&e->waiters, txn, seq);
-    if (wtr != nullptr) {
-      e->waiters.Remove(wtr);
-      txn->pool.Free(wtr);
-    }
+    case ReqQueue::kNone:
+      break;  // already released; tolerated defensively
   }
 
   // Drop any dependency records still pointing at us so a later attempt of
@@ -782,10 +1008,11 @@ int LockManager::ReleaseLocked(Row* row, TxnCB* txn, bool committed) {
 
 bool LockManager::WaiterEligible(LockEntry* e, const LockReq& w) const {
   // O(1) summary checks first. A waiter is never itself linked into owners
-  // or retired (one request per (txn, row); TxnHandle deduplicates), so
-  // the aggregate counters decide the owners side without a scan, and the
-  // whole check without one in the common shapes (empty entry, read-only
-  // retired list).
+  // or retired (one request per (txn, row); TxnHandle deduplicates and
+  // upgrades keep their original link), so the aggregate counters decide
+  // the owners side without a scan, and the whole check without one in the
+  // common shapes (empty entry, read-only retired list). Pending upgrades
+  // count as EX in the summaries, so they are never granted past.
   if (w.type == LockType::kEX) {
     if (e->owners.size != 0) return false;
   } else if (e->owners.ex_count != 0) {
@@ -794,7 +1021,10 @@ bool LockManager::WaiterEligible(LockEntry* e, const LockReq& w) const {
   if (e->retired.empty()) return true;
   if (w.type == LockType::kSH && e->retired.ex_count == 0) return true;
   for (const LockReq* r = e->retired.head; r != nullptr; r = r->next) {
-    if (r->txn == w.txn || !Conflicts(r->type, w.type)) continue;
+    if (r->txn == w.txn || !Conflicts(EffectiveType(*r), w.type)) continue;
+    // A pending upgrade must resolve before anything stacks behind it
+    // (see the deadlock note in SubmitLocked).
+    if (r->upgrading) return false;
     // May only queue *behind* older (or already committed) retired
     // entries; a younger uncommitted one is a doomed wound target that
     // must drain first.
@@ -804,6 +1034,10 @@ bool LockManager::WaiterEligible(LockEntry* e, const LockReq& w) const {
 }
 
 void LockManager::PromoteWaiters(LockEntry* e, Row* row) {
+  // Upgrades first: the upgrader already holds the lock, so it always
+  // precedes any waiter in the grant order.
+  if (e->upgrades_pending != 0) TryGrantUpgrade(e, row);
+
   LockReq* w = e->waiters.head;
   while (w != nullptr) {
     LockReq* next = w->next;
@@ -823,6 +1057,7 @@ void LockManager::PromoteWaiters(LockEntry* e, Row* row) {
       t->wrote_any.store(true, std::memory_order_relaxed);
       RegisterBarrier(e, t, LockType::kEX, w->seq);
       char* data = row->PushVersion(t, w->seq);
+      w->write_data = data;
       w->rmw_fn(data, w->rmw_arg);
       if (w->rmw_retire) {
         e->retired.PushBack(w, ReqQueue::kRetired);
@@ -842,15 +1077,16 @@ void LockManager::PromoteWaiters(LockEntry* e, Row* row) {
 }
 
 /// Wait-die invariant repair: enqueueing only ever makes an older txn wait
-/// for younger owners, but granting (promotion or the waiter-bypass in
-/// Acquire) can install an *older* owner in front of a younger waiter --
-/// an edge wait-die forbids (it is how deadlock cycles close). Such
-/// waiters must die now, not wait.
+/// for younger owners, but granting (promotion, the waiter-bypass in
+/// Submit, or a pending upgrade hardening an SH holder into an effective
+/// EX) can install an *older* conflicting owner in front of a younger
+/// waiter -- an edge wait-die forbids (it is how deadlock cycles close).
+/// Such waiters must die now, not wait.
 void LockManager::WaitDieRepair(LockEntry* e) {
   for (LockReq* w = e->waiters.head; w != nullptr; w = w->next) {
     if (w->txn->IsAborted()) continue;
     for (const LockReq* o = e->owners.head; o != nullptr; o = o->next) {
-      if (o->txn != w->txn && Conflicts(o->type, w->type) &&
+      if (o->txn != w->txn && Conflicts(EffectiveType(*o), w->type) &&
           OlderThan(o->txn, w->txn)) {
         WoundAndClaim(w->txn, /*cascade=*/false);
         break;
@@ -887,8 +1123,8 @@ size_t LockManager::DependentCount(Row* row, TxnCB* txn) {
   LockEntry* e = row->Lock();
   LatchGuard g(&e->latch, nullptr);
   const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
-  LockReq* r = FindReq(&e->retired, txn, seq);
-  if (r == nullptr) r = FindReq(&e->owners, txn, seq);
+  LockReq* r = FindReqForInspection(&e->retired, txn, seq);
+  if (r == nullptr) r = FindReqForInspection(&e->owners, txn, seq);
   return r != nullptr ? r->dep_count : 0;
 }
 

@@ -2,6 +2,7 @@
 #define BAMBOO_SRC_DB_LOCK_TABLE_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 
 #include "src/common/config.h"
@@ -46,26 +47,38 @@ enum class ReqQueue : uint8_t { kNone, kOwners, kRetired, kWaiters };
 /// One queued or granted request. Requests are intrusive list nodes that
 /// live in the owning transaction's ReqPool (below); the lock manager only
 /// ever links/unlinks them, so acquire/retire/promote/release never touch
-/// the allocator and every erase is O(1). All fields except the identity
-/// pair are guarded by the entry latch.
+/// the allocator and every erase is O(1). Node addresses are stable for the
+/// footprint's lifetime, which is what lets the manager hand the pointer
+/// back to the executor as an opaque GrantToken: release, retire and resume
+/// go straight to the node instead of re-locating it by (txn, seq) scans.
+/// All fields except the identity pair are guarded by the entry latch.
 struct LockReq {
   // --- intrusive hooks. `next` doubles as the pool freelist link while
   //     the request is unallocated.
   LockReq* prev = nullptr;
   LockReq* next = nullptr;
   ReqQueue queue = ReqQueue::kNone;
+  /// Pending SH->EX upgrade: the request keeps its SH slot in owners (or
+  /// retired, Bamboo Opt 1) so the read stays continuously protected, but
+  /// conflicts as if it were EX (EffectiveEx) until the upgrade is granted
+  /// or the transaction rolls back.
+  bool upgrading = false;
 
   // --- identity: (txn, seq) so references never dangle across the owning
   //     thread's retries.
   TxnCB* txn = nullptr;
   uint64_t seq = 0;
   LockType type = LockType::kSH;
-  /// Fused RMW waiting to be applied (see LockManager::AcquireRmw). The
-  /// promoter applies it on the sleeping waiter's behalf, so a whole queue
-  /// of hotspot updates drains in a single latch hold.
+  /// Fused RMW waiting to be applied (see AccessRequest). The promoter
+  /// applies it on the sleeping waiter's behalf, so a whole queue of
+  /// hotspot updates drains in a single latch hold.
   bool rmw_retire = false;
   RmwFn rmw_fn = nullptr;
   void* rmw_arg = nullptr;
+  /// Private version image installed for this request by whichever thread
+  /// completed the grant (immediate grant, RMW promotion, upgrade grant);
+  /// Resume reads it back in O(1) instead of walking the version chain.
+  char* write_data = nullptr;
 
   // --- dependents: transactions whose commit semaphore counts this
   //     (retired) request as their barrier; drained on commit, wounded on
@@ -79,15 +92,32 @@ struct LockReq {
   DepPage* dep_tail = nullptr;
 };
 
+/// Opaque handle to a transaction's request on one row. Returned by
+/// LockManager::Submit (for granted *and* enqueued requests), stored by the
+/// executor, and consumed by Resume/Retire/Release -- which thereby become
+/// O(1): no list is ever scanned to find the caller's request again.
+using GrantToken = LockReq*;
+
+/// Conflict type of a linked request: a pending SH->EX upgrade blocks like
+/// a writer so readers cannot starve it and nobody stacks behind it.
+inline LockType EffectiveType(const LockReq& r) {
+  return r.upgrading ? LockType::kEX : r.type;
+}
+
+inline bool EffectiveEx(const LockReq& r) {
+  return r.type == LockType::kEX || r.upgrading;
+}
+
 /// Intrusive doubly-linked request list with O(1) link/unlink and the
 /// conflict summary (`ex_count`) that lets waiter-eligibility checks skip
-/// the scan in the common cases. All mutation happens under the entry
-/// latch.
+/// the scan in the common cases. `ex_count` counts *effective* EX members
+/// (EX requests plus pending upgrades). All mutation happens under the
+/// entry latch.
 struct ReqList {
   LockReq* head = nullptr;
   LockReq* tail = nullptr;
   uint32_t size = 0;
-  uint32_t ex_count = 0;  ///< EX-typed members
+  uint32_t ex_count = 0;  ///< effective-EX members (EX or upgrading)
 
   bool empty() const { return head == nullptr; }
 
@@ -115,7 +145,7 @@ struct ReqList {
       tail = r;
     }
     size++;
-    if (r->type == LockType::kEX) ex_count++;
+    if (EffectiveEx(*r)) ex_count++;
   }
 
   void Remove(LockReq* r) {
@@ -133,7 +163,7 @@ struct ReqList {
     r->next = nullptr;
     r->queue = ReqQueue::kNone;
     size--;
-    if (r->type == LockType::kEX) ex_count--;
+    if (EffectiveEx(*r)) ex_count--;
   }
 };
 
@@ -156,14 +186,15 @@ class ReqPool {
   ReqPool(const ReqPool&) = delete;
   ReqPool& operator=(const ReqPool&) = delete;
 
-  /// Ensure at least one free slot, growing by a slab if needed. Called
-  /// *before* the entry latch is taken, so allocator work (a long scan's
-  /// slab growth) never extends a latch hold.
-  void Reserve() {
-    if (free_ == nullptr) Grow();
+  /// Ensure at least `n` free slots, growing by slabs if needed. Called
+  /// *before* the entry latch is taken (once per access, or once for a
+  /// whole multi-key batch), so allocator work never extends a latch hold.
+  void Reserve(uint32_t n = 1) {
+    while (capacity_ - live_ < n) Grow();
   }
-  /// Pop a reset slot; the caller Reserved, so this is a freelist pop
-  /// (the growth branch only backstops direct/test callers).
+  /// Pop a reset slot. The caller must have Reserved: a missed reserve
+  /// would silently grow a slab under the latch, so debug builds assert
+  /// (the growth branch stays as a release-build backstop only).
   LockReq* Alloc();
   /// Return a slot. The caller must have unlinked it and cleared / drained
   /// its dependents (LockManager does both in Release).
@@ -212,6 +243,10 @@ struct alignas(kCacheLineSize) LockEntry {
   ReqList owners;
   ReqList retired;
   ReqList waiters;
+  /// Linked requests with a pending SH->EX upgrade (granted or rolled back
+  /// ones excluded). Lets PromoteWaiters skip the upgrade scan entirely in
+  /// the common no-upgrade case.
+  uint32_t upgrades_pending = 0;
 };
 
 enum class AcqResult {
@@ -220,11 +255,30 @@ enum class AcqResult {
   kAbort,    ///< caller must abort (no-wait / wait-die decision)
 };
 
-/// Outcome of an acquire/complete round.
+/// Unified request descriptor for every access mode: plain read (kSH +
+/// read_buf), plain write (kEX), fused RMW (kEX + rmw_fn, retiring inside
+/// the grant when retire_now), and SH->EX upgrade (upgrade_of = the SH
+/// grant's token). New modes extend this struct instead of adding entry
+/// points; Submit starts a request and Resume finishes one that waited.
+struct AccessRequest {
+  Row* row = nullptr;
+  LockType type = LockType::kSH;
+  char* read_buf = nullptr;  ///< SH: image copied here under the latch
+  RmwFn rmw_fn = nullptr;    ///< EX: fused read-modify-write body
+  void* rmw_arg = nullptr;
+  bool retire_now = false;   ///< fused RMW: retire inside the same latch hold
+  GrantToken upgrade_of = nullptr;  ///< SH->EX: the held SH grant to convert
+};
+
+/// Outcome of a Submit/Resume round.
 struct AccessGrant {
   AcqResult rc = AcqResult::kAbort;
+  /// The request's token: valid for kGranted with a footprint and for
+  /// kWait (pass it to Resume, or Release it to abandon the wait). Null
+  /// for kAbort and for footprint-free Opt-3 snapshot reads.
+  GrantToken token = nullptr;
   bool took_lock = true;   ///< false for Opt-3 snapshot reads
-  bool retired = false;    ///< SH retired inside the acquire (Opt 1)
+  bool retired = false;    ///< request sits in the retired list (Opt 1 / RMW)
   bool dirty = false;      ///< served from an uncommitted version
   char* write_data = nullptr;  ///< EX: private version image (stable)
 };
@@ -233,6 +287,11 @@ struct AccessGrant {
 /// per-tuple queues. All list manipulation happens under the entry latch;
 /// blocking is delegated to the caller (kWait + TxnCB::WaitFor) so the
 /// manager itself never sleeps.
+///
+/// Access protocol: Submit(descriptor) -> AccessGrant carrying the token;
+/// a kWait result parks the caller, then Resume(descriptor, token)
+/// finishes the round. Retire and Release take the token and are O(1) --
+/// no (txn, seq) scan exists anywhere on the hot path.
 class LockManager {
  public:
   /// `ts_counter` feeds wound-wait priority timestamps. `cts_counter` is
@@ -244,38 +303,30 @@ class LockManager {
               std::atomic<uint64_t>* cts_counter)
       : cfg_(cfg), ts_counter_(ts_counter), cts_counter_(cts_counter) {}
 
-  /// Request `type` on `row`. For SH grants the current image (or the
-  /// Opt-3 committed image) is copied into `read_buf` under the latch, so
-  /// the caller never touches a version a concurrent commit might pop.
-  AccessGrant Acquire(Row* row, TxnCB* txn, LockType type, char* read_buf);
+  /// Start the access described by `req` for `txn`. For SH grants the
+  /// current image (or the Opt-3 committed image) is copied into
+  /// `req.read_buf` under the latch; for fused RMWs the version is
+  /// created, `rmw_fn` applied and (with retire_now) the write retired in
+  /// the same latch hold; for upgrades the held SH converts in place.
+  AccessGrant Submit(const AccessRequest& req, TxnCB* txn);
 
-  /// Fused exclusive read-modify-write: conflict handling as for an EX
-  /// Acquire, but on grant the new version is created, `fn` applied, and
-  /// (with `retire_now`, Bamboo) the write retired -- all in one latch
-  /// hold, so the row is never exposed in a half-written owner state. A
-  /// kWait result parks the caller; the releasing thread that promotes the
-  /// request applies the RMW on its behalf (lock_granted = 2).
-  AccessGrant AcquireRmw(Row* row, TxnCB* txn, RmwFn fn, void* arg,
-                         bool retire_now);
+  /// Finish a Submit that returned kWait after the wait ended. Pass the
+  /// same descriptor plus the token Submit returned. Plain reads/writes
+  /// finalize here (image copy / version creation); fused RMWs and
+  /// upgrades were already completed by the promoting thread, so Resume
+  /// just reports the final state off the token.
+  AccessGrant Resume(const AccessRequest& req, TxnCB* txn, GrantToken token);
 
-  /// Finish an acquire that returned kWait after the wait ended. Verifies
-  /// the grant, prepares the version / copies the image like Acquire.
-  AccessGrant CompleteAcquire(Row* row, TxnCB* txn, LockType type,
-                              char* read_buf);
+  /// Move a granted request from owners to the retired list (early release
+  /// of the write lock; the heart of the protocol). O(1) off the token.
+  void Retire(Row* row, GrantToken token);
 
-  /// Finish a parked AcquireRmw: the promoter already created the version
-  /// and applied the function (lock_granted == 2); report the final state.
-  AccessGrant CompleteAcquireRmw(Row* row, TxnCB* txn);
-
-  /// Move txn's granted request from owners to the retired list (early
-  /// release of the write lock; the heart of the protocol).
-  void Retire(Row* row, TxnCB* txn);
-
-  /// Drop txn's request wherever it sits. On commit: install the version,
-  /// drain dependents' semaphores. On abort: discard the version, wound
-  /// dependents (cascading abort). Always promotes eligible waiters.
-  /// Returns the number of dependents wounded (cascade fan-out).
-  int Release(Row* row, TxnCB* txn, bool committed);
+  /// Drop the request wherever it sits (owners, retired, or waiters) --
+  /// O(1) off the token. On commit: install the version, drain dependents'
+  /// semaphores. On abort: discard the version, wound dependents
+  /// (cascading abort). Always promotes eligible waiters. Returns the
+  /// number of dependents wounded (cascade fan-out).
+  int Release(Row* row, GrantToken token, bool committed);
 
   /// Test/inspection helpers (latched).
   size_t OwnerCount(Row* row);
@@ -287,10 +338,11 @@ class LockManager {
  private:
   /// Latched bodies of the public entry points; the public wrappers run
   /// any claimed detached-commit completions after the latch drops.
-  AccessGrant AcquireLocked(Row* row, TxnCB* txn, LockType type,
-                            char* read_buf, RmwFn rmw_fn, void* rmw_arg,
-                            bool rmw_retire);
-  int ReleaseLocked(Row* row, TxnCB* txn, bool committed);
+  AccessGrant SubmitLocked(const AccessRequest& req, TxnCB* txn);
+  AccessGrant UpgradeLocked(const AccessRequest& req, TxnCB* txn);
+  AccessGrant ResumeLocked(const AccessRequest& req, TxnCB* txn,
+                           GrantToken token);
+  int ReleaseLocked(Row* row, GrantToken token, bool committed);
 
   /// Wound `victim`; if the victim's owner already handed its commit off,
   /// claim the completion so its rollback happens promptly (queued, run
@@ -331,13 +383,27 @@ class LockManager {
   int RetireDependentsAndFree(LockReq* req, bool committed);
 
   /// Grant helpers; all run under the entry latch.
+  /// Immediate-grant tail shared by the uncontended fast path and the
+  /// post-conflict-check grant: request allocation, snapshot validation,
+  /// barrier registration, version/image work, fused RMW, placement.
+  AccessGrant GrantNow(LockEntry* e, Row* row, TxnCB* txn,
+                       const AccessRequest& req, uint64_t seq);
   bool RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type, uint64_t seq);
   AccessGrant FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn, LockType type,
-                            char* read_buf);
+                            char* read_buf, GrantToken token);
   void PromoteWaiters(LockEntry* e, Row* row);
   void WaitDieRepair(LockEntry* e);
   bool WaiterEligible(LockEntry* e, const LockReq& w) const;
   void InsertWaiter(LockEntry* e, LockReq* req);
+
+  /// SH->EX upgrade machinery. A pending upgrade keeps its SH link (so the
+  /// read stays protected) but conflicts as EX; UpgradeEligible decides
+  /// whether it can convert (no other owner, no uncommitted retired entry
+  /// that is not older); GrantUpgrade performs the conversion + version
+  /// creation + fused RMW; TryGrantUpgrade runs it from the release path.
+  bool UpgradeEligible(LockEntry* e, const LockReq& r) const;
+  AccessGrant GrantUpgrade(LockEntry* e, Row* row, LockReq* r);
+  void TryGrantUpgrade(LockEntry* e, Row* row);
 
   const Config& cfg_;
   std::atomic<uint64_t>* ts_counter_;

@@ -46,7 +46,7 @@ void TxnHandle::MaybeReset() {
   if (seq == seen_seq_) return;
   seen_seq_ = seq;
   accesses_.clear();
-  seen_rows_.clear();
+  seen_rows_.Clear();
   use_row_set_ = false;
   silo_reads_.clear();
   silo_writes_.clear();
@@ -57,11 +57,11 @@ void TxnHandle::MaybeReset() {
 
 TxnHandle::Access* TxnHandle::FindAccess(Row* row) {
   if (!use_row_set_ && accesses_.size() >= 32) {
-    seen_rows_.clear();
-    for (const Access& a : accesses_) seen_rows_.insert(a.row);
+    seen_rows_.Clear();
+    for (const Access& a : accesses_) seen_rows_.Insert(a.row);
     use_row_set_ = true;
   }
-  if (use_row_set_ && seen_rows_.count(row) == 0) return nullptr;
+  if (use_row_set_ && !seen_rows_.Contains(row)) return nullptr;
   for (Access& a : accesses_) {
     if (a.row == row) return &a;
   }
@@ -69,7 +69,7 @@ TxnHandle::Access* TxnHandle::FindAccess(Row* row) {
 }
 
 void TxnHandle::NoteAccess(Row* row) {
-  if (use_row_set_) seen_rows_.insert(row);
+  if (use_row_set_) seen_rows_.Insert(row);
 }
 
 char* TxnHandle::ArenaAlloc(uint32_t size) {
@@ -140,7 +140,10 @@ RC TxnHandle::Read(HashIndex* index, uint64_t key, const char** data) {
   if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
   Row* row = index->Get(key);
   if (row == nullptr) return FailAttempt();
+  return ReadRow(row, data);
+}
 
+RC TxnHandle::ReadRow(Row* row, const char** data) {
   if (const Access* a = FindAccess(row)) {
     *data = a->data;  // repeatable read / read-own-write
     return RC::kOk;
@@ -150,23 +153,26 @@ RC TxnHandle::Read(HashIndex* index, uint64_t key, const char** data) {
   if (cfg_.protocol == Protocol::kSilo) return SiloRead_(row, data);
 
   char* buf = ArenaAlloc(row->size());
-  AccessGrant g = lm_->Acquire(row, txn_, LockType::kSH, buf);
+  AccessRequest req;
+  req.row = row;
+  req.type = LockType::kSH;
+  req.read_buf = buf;
+  AccessGrant g = lm_->Submit(req, txn_);
   if (g.rc == AcqResult::kWait) {
-    accesses_.push_back({row, LockType::kSH, AccState::kWaiting, buf});
+    accesses_.push_back({row, LockType::kSH, AccState::kWaiting, buf, g.token});
     NoteAccess(row);
     uint64_t waited = WaitForLock(row);
     if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
-    g = lm_->CompleteAcquire(row, txn_, LockType::kSH, buf);
+    g = lm_->Resume(req, txn_, g.token);
     if (g.rc != AcqResult::kGranted) return FailAttempt();
     accesses_.back().state = g.retired ? AccState::kRetired : AccState::kOwner;
-    accesses_.back().data = buf;
     *data = buf;
     return RC::kOk;
   }
   if (g.rc != AcqResult::kGranted) return FailAttempt();
   AccState st = !g.took_lock ? AccState::kSnapshot
                              : (g.retired ? AccState::kRetired : AccState::kOwner);
-  accesses_.push_back({row, LockType::kSH, st, buf});
+  accesses_.push_back({row, LockType::kSH, st, buf, g.token});
   NoteAccess(row);
   *data = buf;
   return RC::kOk;
@@ -189,21 +195,31 @@ RC TxnHandle::Update(HashIndex* index, uint64_t key, char** data) {
       *data = a->data;  // write-own-write
       return RC::kOk;
     }
-    // SH -> EX upgrades (and writes into already-retired versions) are
-    // not supported; the bundled workloads never need them.
+    if (a->type == LockType::kSH &&
+        (a->state == AccState::kOwner || a->state == AccState::kRetired)) {
+      // SH -> EX upgrade through the grant token: the read lock is never
+      // dropped, so the observed image stays protected across the convert.
+      return UpgradeAccess(a, nullptr, nullptr, data);
+    }
+    // Snapshot reads are footprint-free (pinned transactions are
+    // read-only); writes into already-retired EX versions are unsupported.
     return FailAttempt();
   }
   txn_->ops_done++;
 
   if (cfg_.protocol == Protocol::kSilo) return SiloUpdate_(row, data);
 
-  AccessGrant g = lm_->Acquire(row, txn_, LockType::kEX, nullptr);
+  AccessRequest req;
+  req.row = row;
+  req.type = LockType::kEX;
+  AccessGrant g = lm_->Submit(req, txn_);
   if (g.rc == AcqResult::kWait) {
-    accesses_.push_back({row, LockType::kEX, AccState::kWaiting, nullptr});
+    accesses_.push_back(
+        {row, LockType::kEX, AccState::kWaiting, nullptr, g.token});
     NoteAccess(row);
     uint64_t waited = WaitForLock(row);
     if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
-    g = lm_->CompleteAcquire(row, txn_, LockType::kEX, nullptr);
+    g = lm_->Resume(req, txn_, g.token);
     if (g.rc != AcqResult::kGranted) return FailAttempt();
     accesses_.back().state = AccState::kOwner;
     accesses_.back().data = g.write_data;
@@ -211,7 +227,8 @@ RC TxnHandle::Update(HashIndex* index, uint64_t key, char** data) {
     return RC::kOk;
   }
   if (g.rc != AcqResult::kGranted) return FailAttempt();
-  accesses_.push_back({row, LockType::kEX, AccState::kOwner, g.write_data});
+  accesses_.push_back(
+      {row, LockType::kEX, AccState::kOwner, g.write_data, g.token});
   NoteAccess(row);
   *data = g.write_data;
   return RC::kOk;
@@ -223,7 +240,10 @@ RC TxnHandle::UpdateRmw(HashIndex* index, uint64_t key, RmwFn fn, void* arg) {
   if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
   Row* row = index->Get(key);
   if (row == nullptr) return FailAttempt();
+  return UpdateRmwRow(row, fn, arg);
+}
 
+RC TxnHandle::UpdateRmwRow(Row* row, RmwFn fn, void* arg) {
   if (Access* a = FindAccess(row)) {
     if (cfg_.protocol == Protocol::kSilo) {
       SiloPromoteToWrite(row, a);
@@ -234,7 +254,11 @@ RC TxnHandle::UpdateRmw(HashIndex* index, uint64_t key, RmwFn fn, void* arg) {
       fn(a->data, arg);  // RMW-own-write
       return RC::kOk;
     }
-    return FailAttempt();  // retired already, or only SH held
+    if (a->type == LockType::kSH &&
+        (a->state == AccState::kOwner || a->state == AccState::kRetired)) {
+      return UpgradeAccess(a, fn, arg, nullptr);
+    }
+    return FailAttempt();  // snapshot read, or EX already retired
   }
   txn_->ops_done++;
 
@@ -245,14 +269,20 @@ RC TxnHandle::UpdateRmw(HashIndex* index, uint64_t key, RmwFn fn, void* arg) {
     return rc;
   }
 
-  bool retire_now = cfg_.protocol == Protocol::kBamboo && !TailWrite();
-  AccessGrant g = lm_->AcquireRmw(row, txn_, fn, arg, retire_now);
+  AccessRequest req;
+  req.row = row;
+  req.type = LockType::kEX;
+  req.rmw_fn = fn;
+  req.rmw_arg = arg;
+  req.retire_now = cfg_.protocol == Protocol::kBamboo && !TailWrite();
+  AccessGrant g = lm_->Submit(req, txn_);
   if (g.rc == AcqResult::kWait) {
-    accesses_.push_back({row, LockType::kEX, AccState::kWaiting, nullptr});
+    accesses_.push_back(
+        {row, LockType::kEX, AccState::kWaiting, nullptr, g.token});
     NoteAccess(row);
     uint64_t waited = WaitForLock(row);
     if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
-    g = lm_->CompleteAcquireRmw(row, txn_);
+    g = lm_->Resume(req, txn_, g.token);
     if (g.rc != AcqResult::kGranted) return FailAttempt();
     accesses_.back().state = g.retired ? AccState::kRetired : AccState::kOwner;
     accesses_.back().data = g.write_data;
@@ -261,8 +291,123 @@ RC TxnHandle::UpdateRmw(HashIndex* index, uint64_t key, RmwFn fn, void* arg) {
   if (g.rc != AcqResult::kGranted) return FailAttempt();
   accesses_.push_back({row, LockType::kEX,
                        g.retired ? AccState::kRetired : AccState::kOwner,
-                       g.write_data});
+                       g.write_data, g.token});
   NoteAccess(row);
+  return RC::kOk;
+}
+
+RC TxnHandle::UpgradeAccess(Access* a, RmwFn fn, void* arg, char** data_out) {
+  txn_->ops_done++;
+  AccessRequest req;
+  req.row = a->row;
+  req.type = LockType::kEX;
+  req.rmw_fn = fn;
+  req.rmw_arg = arg;
+  req.retire_now =
+      fn != nullptr && cfg_.protocol == Protocol::kBamboo && !TailWrite();
+  req.upgrade_of = a->token;
+  AccessGrant g = lm_->Submit(req, txn_);
+  if (g.rc == AcqResult::kWait) {
+    a->type = LockType::kEX;
+    a->state = AccState::kWaiting;
+    uint64_t waited = WaitForLock(a->row);
+    if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
+    g = lm_->Resume(req, txn_, a->token);
+  }
+  if (g.rc != AcqResult::kGranted) return FailAttempt();
+  a->type = LockType::kEX;
+  a->state = g.retired ? AccState::kRetired : AccState::kOwner;
+  a->data = g.write_data;
+  if (data_out != nullptr) *data_out = g.write_data;
+  return RC::kOk;
+}
+
+RC TxnHandle::ReadMany(HashIndex* index, const uint64_t* keys, int n,
+                       const char** data_out) {
+  MaybeReset();
+  if (txn_->IsAborted()) return RC::kAbort;
+  if (n <= 0) return RC::kOk;
+  // One simulated round trip for the whole batch: a multi-key statement is
+  // exactly what the interactive mode's per-statement RTT amortizes over.
+  if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
+
+  batch_.clear();
+  for (int i = 0; i < n; i++) batch_.push_back({keys[i], i});
+  std::sort(batch_.begin(), batch_.end(),
+            [](const BatchKey& a, const BatchKey& b) { return a.key < b.key; });
+  // One reservation covers the whole batch: no per-key pool check, and no
+  // slab growth can sneak in mid-pass.
+  if (cfg_.protocol != Protocol::kSilo) {
+    txn_->pool.Reserve(static_cast<uint32_t>(n));
+  }
+
+  bool have_prev = false;
+  uint64_t prev_key = 0;
+  const char* prev_data = nullptr;
+  for (const BatchKey& b : batch_) {
+    if (have_prev && b.key == prev_key) {
+      data_out[b.idx] = prev_data;  // duplicate key: share the copy
+      continue;
+    }
+    Row* row = index->Get(b.key);
+    if (row == nullptr) return FailAttempt();
+    const char* d = nullptr;
+    RC rc = ReadRow(row, &d);
+    if (rc != RC::kOk) return rc;
+    data_out[b.idx] = d;
+    prev_key = b.key;
+    prev_data = d;
+    have_prev = true;
+  }
+  return RC::kOk;
+}
+
+RC TxnHandle::UpdateRmwMany(HashIndex* index, const uint64_t* keys, int n,
+                            RmwFn fn, void* arg) {
+  MaybeReset();
+  if (txn_->IsAborted()) return RC::kAbort;
+  if (n <= 0) return RC::kOk;
+  if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
+
+  batch_.clear();
+  for (int i = 0; i < n; i++) batch_.push_back({keys[i], i});
+  std::sort(batch_.begin(), batch_.end(),
+            [](const BatchKey& a, const BatchKey& b) { return a.key < b.key; });
+  if (cfg_.protocol != Protocol::kSilo) {
+    txn_->pool.Reserve(static_cast<uint32_t>(n));
+  }
+
+  // Duplicate keys coalesce into one grant that applies the RMW once per
+  // occurrence (sorted order makes runs adjacent). Applying them as
+  // separate operations would be unsound under Bamboo: the first
+  // occurrence retires the write in its grant, and a retired version may
+  // already have been consumed by dirty readers -- which is also why a
+  // repeated scalar UpdateRmw on a retired row fails the attempt.
+  struct RepeatArg {
+    RmwFn fn;
+    void* arg;
+    int n;
+  };
+  RmwFn repeat_fn = [](char* d, void* a) {
+    const RepeatArg* r = static_cast<const RepeatArg*>(a);
+    for (int i = 0; i < r->n; i++) r->fn(d, r->arg);
+  };
+  for (size_t i = 0; i < batch_.size();) {
+    const uint64_t key = batch_[i].key;
+    int run = 1;
+    while (i + run < batch_.size() && batch_[i + run].key == key) run++;
+    i += static_cast<size_t>(run);
+    Row* row = index->Get(key);
+    if (row == nullptr) return FailAttempt();
+    RC rc;
+    if (run == 1) {
+      rc = UpdateRmwRow(row, fn, arg);
+    } else {
+      RepeatArg rep{fn, arg, run};
+      rc = UpdateRmwRow(row, repeat_fn, &rep);
+    }
+    if (rc != RC::kOk) return rc;
+  }
   return RC::kOk;
 }
 
@@ -280,7 +425,7 @@ void TxnHandle::WriteDone() {
   for (auto it = accesses_.rbegin(); it != accesses_.rend(); ++it) {
     if (it->type == LockType::kEX && it->state == AccState::kOwner) {
       if (!TailWrite()) {
-        lm_->Retire(it->row, txn_);
+        lm_->Retire(it->row, it->token);
         it->state = AccState::kRetired;
       }
       return;
@@ -293,7 +438,7 @@ void TxnHandle::Rollback() {
   int wounded = 0;
   for (const Access& a : accesses_) {
     if (a.state == AccState::kSnapshot) continue;
-    wounded += lm_->Release(a.row, txn_, /*committed=*/false);
+    wounded += lm_->Release(a.row, a.token, /*committed=*/false);
   }
   accesses_.clear();
   if (txn_->stats != nullptr) {
@@ -389,7 +534,7 @@ RC TxnHandle::Commit(RC user_rc) {
   }
   for (const Access& a : accesses_) {
     if (a.state == AccState::kSnapshot) continue;
-    lm_->Release(a.row, txn_, /*committed=*/true);
+    lm_->Release(a.row, a.token, /*committed=*/true);
   }
   accesses_.clear();
   return RC::kOk;
@@ -414,7 +559,7 @@ void TxnHandle::CompleteDetached() {
   int wounded = 0;
   for (const Access& a : accesses_) {
     if (a.state == AccState::kSnapshot) continue;
-    wounded += lm_->Release(a.row, txn_, committed);
+    wounded += lm_->Release(a.row, a.token, committed);
   }
   accesses_.clear();
   // Publish the outcome last; the origin worker reclaims the slot and does
@@ -462,7 +607,8 @@ RC TxnHandle::SiloRead_(Row* row, const char** data) {
   uint64_t tid = 0;
   char* buf = SiloStableCopy(row, &tid);
   silo_reads_.push_back({row, tid});
-  accesses_.push_back({row, LockType::kSH, AccState::kSnapshot, buf});
+  accesses_.push_back(
+      {row, LockType::kSH, AccState::kSnapshot, buf, nullptr});
   NoteAccess(row);
   *data = buf;
   return RC::kOk;
@@ -473,7 +619,8 @@ RC TxnHandle::SiloUpdate_(Row* row, char** data) {
   char* buf = SiloStableCopy(row, &tid);
   silo_reads_.push_back({row, tid});
   silo_writes_.push_back({row, buf});
-  accesses_.push_back({row, LockType::kEX, AccState::kSnapshot, buf});
+  accesses_.push_back(
+      {row, LockType::kEX, AccState::kSnapshot, buf, nullptr});
   NoteAccess(row);
   *data = buf;
   return RC::kOk;

@@ -2,8 +2,8 @@
 #define BAMBOO_SRC_DB_TXN_HANDLE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "src/db/database.h"
@@ -12,8 +12,79 @@
 
 namespace bamboo {
 
+/// Pooled open-addressed pointer set backing the access-dedup fallback for
+/// long transactions. Power-of-two capacity, linear probing, <=50% load.
+/// The slot array is retained across attempts (Clear memsets it only when
+/// it was used), so the executor joins the lock table's
+/// zero-allocation-after-warmup guarantee -- the std::unordered_set it
+/// replaces allocated a node per insert, every attempt.
+class RowSet {
+ public:
+  bool Contains(const Row* row) const {
+    if (used_ == 0) return false;
+    size_t i = Slot(row);
+    while (slots_[i] != nullptr) {
+      if (slots_[i] == row) return true;
+      i = (i + 1) & (cap_ - 1);
+    }
+    return false;
+  }
+
+  void Insert(const Row* row) {
+    if (used_ * 2 >= cap_) Grow();
+    size_t i = Slot(row);
+    while (slots_[i] != nullptr) {
+      if (slots_[i] == row) return;
+      i = (i + 1) & (cap_ - 1);
+    }
+    slots_[i] = row;
+    used_++;
+  }
+
+  void Clear() {
+    if (used_ != 0) std::memset(slots_.get(), 0, cap_ * sizeof(slots_[0]));
+    used_ = 0;
+  }
+
+  size_t capacity() const { return cap_; }
+
+ private:
+  size_t Slot(const Row* row) const {
+    uint64_t h = reinterpret_cast<uintptr_t>(row);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;  // Murmur3 finalizer: spreads aligned ptrs
+    h ^= h >> 33;
+    return static_cast<size_t>(h) & (cap_ - 1);
+  }
+
+  void Grow() {
+    size_t ncap = cap_ == 0 ? 64 : cap_ * 2;
+    std::unique_ptr<const Row*[]> nslots(new const Row*[ncap]());
+    std::unique_ptr<const Row*[]> old = std::move(slots_);
+    size_t ocap = cap_;
+    slots_ = std::move(nslots);
+    cap_ = ncap;
+    size_t n = used_;
+    used_ = 0;
+    for (size_t i = 0; i < ocap && n != 0; i++) {
+      if (old[i] != nullptr) {
+        Insert(old[i]);
+        n--;
+      }
+    }
+  }
+
+  std::unique_ptr<const Row*[]> slots_;
+  size_t cap_ = 0;
+  size_t used_ = 0;
+};
+
 /// Per-worker transaction executor. Construct once per thread and reuse
 /// across attempts: the handle notices a new `txn_seq` and resets itself.
+///
+/// Every lock-taking access stores the GrantToken the lock manager handed
+/// back, so retire/release go straight to the request node (O(1)) -- the
+/// executor is the token's home for the footprint's lifetime.
 ///
 /// Contract: every attempt ends in Commit() (with kOk or kUserAbort), which
 /// releases all lock footprint; the caller bumps txn_seq and calls
@@ -28,6 +99,8 @@ class TxnHandle {
 
   /// Read-modify-write the row at `key`. On success `*data` points at the
   /// transaction's private image; write through it, then call WriteDone().
+  /// A row previously read by this transaction upgrades its SH grant in
+  /// place (the read stays continuously protected).
   RC Update(HashIndex* index, uint64_t key, char** data);
 
   /// Fused read-modify-write: `fn(image, arg)` runs under the tuple latch
@@ -36,6 +109,21 @@ class TxnHandle {
   /// state, and queued RMWs are applied by the releasing thread. Preferred
   /// for short hotspot updates (stored-procedure execution model).
   RC UpdateRmw(HashIndex* index, uint64_t key, RmwFn fn, void* arg);
+
+  /// Batch multi-key read: sorts the keys (deterministic acquisition
+  /// order), reserves the request-pool slots once, and acquires per row in
+  /// one pass; interactive mode pays a single RTT for the whole batch.
+  /// `data_out[i]` receives the image for `keys[i]` (duplicates share one
+  /// copy). Returns kOk only when every key was granted.
+  RC ReadMany(HashIndex* index, const uint64_t* keys, int n,
+              const char** data_out);
+
+  /// Batch multi-key fused RMW: same batching as ReadMany; `fn(image,arg)`
+  /// is applied once per key occurrence, with duplicates coalesced into a
+  /// single grant (the first grant may retire the write, after which no
+  /// further in-place application would be sound).
+  RC UpdateRmwMany(HashIndex* index, const uint64_t* keys, int n, RmwFn fn,
+                   void* arg);
 
   /// Mark the most recent Update as complete. Under Bamboo this retires
   /// the write lock (early release) unless the Opt-2 tail rule keeps it.
@@ -63,6 +151,7 @@ class TxnHandle {
     LockType type;
     AccState state;
     char* data;  ///< SH: arena copy; EX: private version image
+    GrantToken token;  ///< lock manager request node; null for kSnapshot
   };
 
   struct SiloRead {
@@ -74,12 +163,19 @@ class TxnHandle {
     char* buf;
   };
 
+  /// One batch element: original key plus its position in the caller's
+  /// arrays, so results land in caller order after the sort.
+  struct BatchKey {
+    uint64_t key;
+    int idx;
+  };
+
   void MaybeReset();
   char* ArenaAlloc(uint32_t size);
   void Rollback();
   bool TailWrite() const;
   /// Deduplication lookup. Linear for short transactions; long ones (the
-  /// 1000-op scans) switch to a lazily built row set so each op stays O(1).
+  /// 1000-op scans) switch to the pooled RowSet so each op stays O(1).
   Access* FindAccess(Row* row);
   void NoteAccess(Row* row);
   /// Mark the attempt doomed (no-wait/wait-die decisions, missing rows) so
@@ -89,6 +185,13 @@ class TxnHandle {
   /// wounded. Returns the ns spent parked. (With BAMBOO_DEBUG_STUCK it
   /// polls and dumps the row's queues when stuck.)
   uint64_t WaitForLock(Row* row);
+
+  /// Core of Read/ReadMany once the row is resolved (no reset/RTT).
+  RC ReadRow(Row* row, const char** data);
+  /// Core of UpdateRmw/UpdateRmwMany once the row is resolved.
+  RC UpdateRmwRow(Row* row, RmwFn fn, void* arg);
+  /// Upgrade an existing SH access to EX (in place, via its token).
+  RC UpgradeAccess(Access* a, RmwFn fn, void* arg, char** data_out);
 
   /// Finish a detached commit (or its cascade abort) on whatever thread
   /// claimed it. Must not touch the origin worker's ThreadStats; the
@@ -112,8 +215,9 @@ class TxnHandle {
   bool detach_allowed_ = false;
 
   std::vector<Access> accesses_;
-  std::unordered_set<const Row*> seen_rows_;
+  RowSet seen_rows_;
   bool use_row_set_ = false;
+  std::vector<BatchKey> batch_;  ///< sort scratch for the multi-key APIs
   std::vector<SiloRead> silo_reads_;
   std::vector<SiloWrite> silo_writes_;
 

@@ -65,7 +65,7 @@ class Row {
     } else {
       v.data.reset(new char[size_]);
     }
-    std::memcpy(v.data.get(), NewestData(), size_);
+    CopyRowImage(v.data.get(), NewestData(), size_);
     chain_.push_back(std::move(v));
     return chain_.back().data.get();
   }
@@ -95,11 +95,11 @@ class Row {
         chain_.front().writer_seq == seq) {
       if (retain && cts > base_cts_) {
         if (!snap_data_) snap_data_.reset(new char[size_]);
-        std::memcpy(snap_data_.get(), base_.get(), size_);
+        CopyRowImage(snap_data_.get(), base_.get(), size_);
         snap_cts_ = base_cts_;
         has_snap_ = true;
       }
-      std::memcpy(base_.get(), chain_.front().data.get(), size_);
+      CopyRowImage(base_.get(), chain_.front().data.get(), size_);
       image_pool_.push_back(std::move(chain_.front().data));
       chain_.erase(chain_.begin());
       if (cts > base_cts_) base_cts_ = cts;

@@ -17,6 +17,9 @@ class SyntheticWorkload : public Workload {
   RC RunTxn(TxnHandle* handle, Rng* rng) override;
 
  private:
+  /// Multi-key variant (cfg.synth_batch_ops): hotspot RMWs via
+  /// UpdateRmwMany, cold reads via ReadMany.
+  RC RunTxnBatched(TxnHandle* handle, Rng* rng);
   const Config& cfg_;
   HashIndex* cold_ = nullptr;
   HashIndex* hot_ = nullptr;

@@ -17,6 +17,16 @@
 namespace bamboo {
 namespace {
 
+/// Descriptor shorthand for the direct lock-manager scenarios.
+AccessGrant Acquire(LockManager* lm, Row* row, TxnCB* t, LockType type,
+                    char* buf) {
+  AccessRequest req;
+  req.row = row;
+  req.type = type;
+  req.read_buf = buf;
+  return lm->Submit(req, t);
+}
+
 void TestRetiredWriterAbortCascades() {
   Config cfg;
   cfg.protocol = Protocol::kBamboo;
@@ -34,25 +44,25 @@ void TestRetiredWriterAbortCascades() {
   writer.ts.store(1);
   reader.ts.store(2);
 
-  AccessGrant g = lm.Acquire(&row, &writer, LockType::kEX, buf);
-  CHECK(g.rc == AcqResult::kGranted);
-  std::memset(g.write_data, 0xab, 8);
-  lm.Retire(&row, &writer);
+  AccessGrant gw = Acquire(&lm, &row, &writer, LockType::kEX, buf);
+  CHECK(gw.rc == AcqResult::kGranted);
+  std::memset(gw.write_data, 0xab, 8);
+  lm.Retire(&row, gw.token);
 
-  g = lm.Acquire(&row, &reader, LockType::kSH, buf);
-  CHECK(g.rc == AcqResult::kGranted);
-  CHECK(g.dirty);
+  AccessGrant gr = Acquire(&lm, &row, &reader, LockType::kSH, buf);
+  CHECK(gr.rc == AcqResult::kGranted);
+  CHECK(gr.dirty);
   CHECK_EQ(rstats.dirty_reads, 1u);
   CHECK_EQ(reader.commit_semaphore.load(), 1);
 
   // The retired writer aborts: the dependent reader must die with it.
-  int wounded = lm.Release(&row, &writer, /*committed=*/false);
+  int wounded = lm.Release(&row, gw.token, /*committed=*/false);
   CHECK_EQ(wounded, 1);
   CHECK(reader.status.load() == TxnStatus::kAborted);
   CHECK(reader.abort_was_cascade.load());
   // The writer's dirty version is gone.
   CHECK_EQ(row.chain().size(), 0u);
-  lm.Release(&row, &reader, /*committed=*/false);
+  lm.Release(&row, gr.token, /*committed=*/false);
   CHECK_EQ(lm.RetiredCount(&row), 0u);
 }
 
@@ -75,23 +85,23 @@ void TestCommitDependenciesDrainInOrder() {
   r.ts.store(3);
 
   // W1 then W2 retire writes; R reads behind both.
-  AccessGrant g = lm.Acquire(&row, &w1, LockType::kEX, buf);
-  *reinterpret_cast<uint64_t*>(g.write_data) = 1;
-  lm.Retire(&row, &w1);
-  g = lm.Acquire(&row, &w2, LockType::kEX, buf);
-  CHECK(g.rc == AcqResult::kGranted);
+  AccessGrant g1 = Acquire(&lm, &row, &w1, LockType::kEX, buf);
+  *reinterpret_cast<uint64_t*>(g1.write_data) = 1;
+  lm.Retire(&row, g1.token);
+  AccessGrant g2 = Acquire(&lm, &row, &w2, LockType::kEX, buf);
+  CHECK(g2.rc == AcqResult::kGranted);
   CHECK_EQ(w2.commit_semaphore.load(), 1);  // WAW dependency on W1
-  *reinterpret_cast<uint64_t*>(g.write_data) = 2;
-  lm.Retire(&row, &w2);
+  *reinterpret_cast<uint64_t*>(g2.write_data) = 2;
+  lm.Retire(&row, g2.token);
   cfg.bb_opt_raw_read = false;  // force the dirty read for R
-  g = lm.Acquire(&row, &r, LockType::kSH, buf);
-  CHECK(g.rc == AcqResult::kGranted);
+  AccessGrant g3 = Acquire(&lm, &row, &r, LockType::kSH, buf);
+  CHECK(g3.rc == AcqResult::kGranted);
   CHECK_EQ(*reinterpret_cast<uint64_t*>(buf), 2u);  // newest dirty version
   CHECK_EQ(r.commit_semaphore.load(), 2);  // one edge per conflicting writer
 
   // Commits drain in timestamp (= retired list) order: W1 first.
   w1.status.store(TxnStatus::kCommitted);
-  lm.Release(&row, &w1, true);
+  lm.Release(&row, g1.token, true);
   CHECK_EQ(w2.commit_semaphore.load(), 0);
   CHECK_EQ(r.commit_semaphore.load(), 1);  // still pinned behind W2
   uint64_t base1;
@@ -99,12 +109,12 @@ void TestCommitDependenciesDrainInOrder() {
   CHECK_EQ(base1, 1u);  // W1's write installed
 
   w2.status.store(TxnStatus::kCommitted);
-  lm.Release(&row, &w2, true);
+  lm.Release(&row, g2.token, true);
   CHECK_EQ(r.commit_semaphore.load(), 0);
   uint64_t base2;
   std::memcpy(&base2, row.base(), 8);
   CHECK_EQ(base2, 2u);
-  lm.Release(&row, &r, true);
+  lm.Release(&row, g3.token, true);
 }
 
 // --- 4-thread serializability stress test ---------------------------------
@@ -444,12 +454,12 @@ void TestRawReadMakesTransactionReadOnly() {
   wcb.ResetForAttempt(/*keep_ts=*/true);
   db.cc()->Begin(&wcb);
   char buf[8];
-  AccessGrant g = lm->Acquire(row_y, &wcb, LockType::kSH, buf);
+  AccessGrant g = Acquire(lm, row_y, &wcb, LockType::kSH, buf);
   CHECK(g.rc == AcqResult::kWait);
   CHECK_EQ(wstats.raw_reads, 1u);  // no new raw read
   CHECK(w2cb.status.load() == TxnStatus::kAborted);
-  lm->Release(row_y, &wcb, /*committed=*/false);  // drop the waiting request
-  CHECK(w2.Commit(RC::kOk) == RC::kAbort);        // wounded: rolls back
+  lm->Release(row_y, g.token, /*committed=*/false);  // drop the waiting request
+  CHECK(w2.Commit(RC::kOk) == RC::kAbort);           // wounded: rolls back
 
   // A transaction that already wrote never pins: its read behind an
   // uncommitted younger retired writer goes to the waiters, not raw.
@@ -459,11 +469,11 @@ void TestRawReadMakesTransactionReadOnly() {
   BeginWithTs(&db, &w3cb, 3);
   CHECK(w3.Update(index, kX, &d) == RC::kOk);
   w3.WriteDone();
-  g = lm->Acquire(row_y, &w3cb, LockType::kSH, buf);
+  g = Acquire(lm, row_y, &w3cb, LockType::kSH, buf);
   CHECK(g.rc == AcqResult::kWait);
   CHECK_EQ(w3stats.raw_reads, 0u);
   CHECK_EQ(w3cb.raw_snapshot_cts.load(), 0u);
-  lm->Release(row_y, &w3cb, /*committed=*/false);
+  lm->Release(row_y, g.token, /*committed=*/false);
   CHECK(w3.Commit(RC::kAbort) == RC::kAbort);
   CHECK(w2.Commit(RC::kOk) == RC::kAbort);  // wounded by w3's fall-through
 }
@@ -491,48 +501,49 @@ void TestRawReadAbortsWhenSnapshotImageGone() {
 
   // Manual commit: stamp the CTS the way TxnHandle::Commit does, then
   // release so the stamp lands on the row.
-  auto commit_on = [&](TxnCB* t, Row* row) {
+  auto commit_on = [&](TxnCB* t, Row* row, GrantToken token) {
     t->status.store(TxnStatus::kCommitted);
     t->commit_cts.store(cts.fetch_add(1) + 1);
-    lm.Release(row, t, /*committed=*/true);
+    lm.Release(row, token, /*committed=*/true);
   };
 
   // Pin the reader's snapshot with a raw read on row A (behind wa's
   // uncommitted retired write).
-  AccessGrant g = lm.Acquire(&row_a, &wa, LockType::kEX, buf);
-  CHECK(g.rc == AcqResult::kGranted);
-  lm.Retire(&row_a, &wa);
-  g = lm.Acquire(&row_a, &reader, LockType::kSH, buf);
+  AccessGrant ga = Acquire(&lm, &row_a, &wa, LockType::kEX, buf);
+  CHECK(ga.rc == AcqResult::kGranted);
+  lm.Retire(&row_a, ga.token);
+  AccessGrant g = Acquire(&lm, &row_a, &reader, LockType::kSH, buf);
   CHECK(g.rc == AcqResult::kGranted);
   CHECK(!g.took_lock);
+  CHECK(g.token == nullptr);  // footprint-free: nothing to release
   CHECK_EQ(rstats.raw_reads, 1u);
   const uint64_t snap = reader.raw_snapshot_cts.load();
   CHECK(snap != 0);
 
   // Two commits land on row B after the pin: base and the retained image
   // are both newer than the snapshot now.
-  g = lm.Acquire(&row_b, &wb, LockType::kEX, buf);
-  lm.Retire(&row_b, &wb);
-  commit_on(&wb, &row_b);
-  g = lm.Acquire(&row_b, &wc, LockType::kEX, buf);
-  lm.Retire(&row_b, &wc);
-  commit_on(&wc, &row_b);
+  AccessGrant gb = Acquire(&lm, &row_b, &wb, LockType::kEX, buf);
+  lm.Retire(&row_b, gb.token);
+  commit_on(&wb, &row_b, gb.token);
+  AccessGrant gc = Acquire(&lm, &row_b, &wc, LockType::kEX, buf);
+  lm.Retire(&row_b, gc.token);
+  commit_on(&wc, &row_b, gc.token);
   CHECK(row_b.base_cts() > snap);
   CHECK(row_b.snap_cts() > snap);
 
   // A third, uncommitted retired writer makes the reader's request take
   // the raw path -- which must now refuse and abort the reader.
-  g = lm.Acquire(&row_b, &wd, LockType::kEX, buf);
-  lm.Retire(&row_b, &wd);
-  g = lm.Acquire(&row_b, &reader, LockType::kSH, buf);
+  AccessGrant gd = Acquire(&lm, &row_b, &wd, LockType::kEX, buf);
+  lm.Retire(&row_b, gd.token);
+  g = Acquire(&lm, &row_b, &reader, LockType::kSH, buf);
   CHECK(g.rc == AcqResult::kAbort);
   // The younger retired writer was not wounded: refusing the snapshot is
   // the reader's problem, not the writer's.
   CHECK(wd.status.load() != TxnStatus::kAborted);
 
   // Cleanup.
-  lm.Release(&row_a, &wa, /*committed=*/false);
-  lm.Release(&row_b, &wd, /*committed=*/false);
+  lm.Release(&row_a, ga.token, /*committed=*/false);
+  lm.Release(&row_b, gd.token, /*committed=*/false);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
-// Single-threaded semantics of the lock manager: compatibility matrix,
-// retire motion between queues, wake-up order, and the per-protocol
-// conflict decisions (wound-wait / wait-die / no-wait).
+// Single-threaded semantics of the lock manager through the grant-token
+// API: compatibility matrix, retire motion between queues, wake-up order,
+// and the per-protocol conflict decisions (wound-wait / wait-die /
+// no-wait). Tokens returned by Submit are threaded through Resume / Retire
+// / Release exactly as TxnHandle does.
 #include <atomic>
 
 #include "src/db/lock_table.h"
@@ -17,6 +19,27 @@ struct Fixture {
     lm = new LockManager(cfg, &ts_counter, &cts_counter);
   }
   ~Fixture() { delete lm; }
+
+  AccessGrant Sh(Row* row, TxnCB* t) {
+    AccessRequest req;
+    req.row = row;
+    req.type = LockType::kSH;
+    req.read_buf = buf;
+    return lm->Submit(req, t);
+  }
+  AccessGrant Ex(Row* row, TxnCB* t) {
+    AccessRequest req;
+    req.row = row;
+    req.type = LockType::kEX;
+    return lm->Submit(req, t);
+  }
+  AccessGrant ResumeSh(Row* row, TxnCB* t, GrantToken tok) {
+    AccessRequest req;
+    req.row = row;
+    req.type = LockType::kSH;
+    req.read_buf = buf;
+    return lm->Resume(req, t, tok);
+  }
 
   Config cfg;
   std::atomic<uint64_t> ts_counter{0};
@@ -36,13 +59,15 @@ void TestSharedCompatible() {
   Fixture f(Protocol::kWoundWait);
   TxnCB* t1 = MakeTxn(1);
   TxnCB* t2 = MakeTxn(2);
-  CHECK(f.lm->Acquire(&f.row, t1, LockType::kSH, f.buf).rc ==
-        AcqResult::kGranted);
-  CHECK(f.lm->Acquire(&f.row, t2, LockType::kSH, f.buf).rc ==
-        AcqResult::kGranted);
+  AccessGrant g1 = f.Sh(&f.row, t1);
+  AccessGrant g2 = f.Sh(&f.row, t2);
+  CHECK(g1.rc == AcqResult::kGranted);
+  CHECK(g2.rc == AcqResult::kGranted);
+  CHECK(g1.token != nullptr);
+  CHECK(g2.token != nullptr);
   CHECK_EQ(f.lm->OwnerCount(&f.row), 2u);
-  f.lm->Release(&f.row, t1, true);
-  f.lm->Release(&f.row, t2, true);
+  f.lm->Release(&f.row, g1.token, true);
+  f.lm->Release(&f.row, g2.token, true);
   CHECK_EQ(f.lm->OwnerCount(&f.row), 0u);
   delete t1;
   delete t2;
@@ -52,21 +77,23 @@ void TestExclusiveConflictQueues() {
   Fixture f(Protocol::kWoundWait);
   TxnCB* older = MakeTxn(1);
   TxnCB* younger = MakeTxn(2);
-  CHECK(f.lm->Acquire(&f.row, older, LockType::kEX, f.buf).rc ==
-        AcqResult::kGranted);
-  // Younger conflicting requester must wait, not wound.
-  CHECK(f.lm->Acquire(&f.row, younger, LockType::kSH, f.buf).rc ==
-        AcqResult::kWait);
+  AccessGrant gh = f.Ex(&f.row, older);
+  CHECK(gh.rc == AcqResult::kGranted);
+  // Younger conflicting requester must wait, not wound. The kWait grant
+  // still carries the waiter's token.
+  AccessGrant gw = f.Sh(&f.row, younger);
+  CHECK(gw.rc == AcqResult::kWait);
+  CHECK(gw.token != nullptr);
   CHECK_EQ(f.lm->WaiterCount(&f.row), 1u);
   CHECK(older->status.load() != TxnStatus::kAborted);
   older->status.store(TxnStatus::kCommitted);
-  f.lm->Release(&f.row, older, true);
+  f.lm->Release(&f.row, gh.token, true);
   // The waiter was promoted and flagged.
   CHECK_EQ(f.lm->OwnerCount(&f.row), 1u);
   CHECK_EQ(younger->lock_granted.load(), 1u);
-  CHECK(f.lm->CompleteAcquire(&f.row, younger, LockType::kSH, f.buf).rc ==
-        AcqResult::kGranted);
-  f.lm->Release(&f.row, younger, true);
+  AccessGrant gr = f.ResumeSh(&f.row, younger, gw.token);
+  CHECK(gr.rc == AcqResult::kGranted);
+  f.lm->Release(&f.row, gr.token, true);
   delete older;
   delete younger;
 }
@@ -75,17 +102,17 @@ void TestWoundWaitKillsYoungerOwner() {
   Fixture f(Protocol::kWoundWait);
   TxnCB* younger = MakeTxn(10);
   TxnCB* older = MakeTxn(5);
-  CHECK(f.lm->Acquire(&f.row, younger, LockType::kEX, f.buf).rc ==
-        AcqResult::kGranted);
-  CHECK(f.lm->Acquire(&f.row, older, LockType::kSH, f.buf).rc ==
-        AcqResult::kWait);
+  AccessGrant gy = f.Ex(&f.row, younger);
+  CHECK(gy.rc == AcqResult::kGranted);
+  AccessGrant go = f.Sh(&f.row, older);
+  CHECK(go.rc == AcqResult::kWait);
   // The older requester wounded the younger owner.
   CHECK(younger->status.load() == TxnStatus::kAborted);
   // Wounded owner rolls back; waiter takes over.
-  f.lm->Release(&f.row, younger, false);
+  f.lm->Release(&f.row, gy.token, false);
   CHECK_EQ(f.lm->OwnerCount(&f.row), 1u);
   CHECK_EQ(older->lock_granted.load(), 1u);
-  f.lm->Release(&f.row, older, true);
+  f.lm->Release(&f.row, go.token, true);
   delete younger;
   delete older;
 }
@@ -95,23 +122,23 @@ void TestReleaseWakesInTimestampOrder() {
   TxnCB* holder = MakeTxn(1);
   TxnCB* mid = MakeTxn(7);
   TxnCB* late = MakeTxn(10);
-  CHECK(f.lm->Acquire(&f.row, holder, LockType::kEX, f.buf).rc ==
-        AcqResult::kGranted);
+  AccessGrant gh = f.Ex(&f.row, holder);
+  CHECK(gh.rc == AcqResult::kGranted);
   // Enqueue out of timestamp order: late first, then mid.
-  CHECK(f.lm->Acquire(&f.row, late, LockType::kEX, f.buf).rc ==
-        AcqResult::kWait);
-  CHECK(f.lm->Acquire(&f.row, mid, LockType::kEX, f.buf).rc ==
-        AcqResult::kWait);
+  AccessGrant gl = f.Ex(&f.row, late);
+  CHECK(gl.rc == AcqResult::kWait);
+  AccessGrant gm = f.Ex(&f.row, mid);
+  CHECK(gm.rc == AcqResult::kWait);
   CHECK_EQ(f.lm->WaiterCount(&f.row), 2u);
   holder->status.store(TxnStatus::kCommitted);
-  f.lm->Release(&f.row, holder, true);
+  f.lm->Release(&f.row, gh.token, true);
   // Oldest waiter (mid) wins; late keeps waiting.
   CHECK_EQ(mid->lock_granted.load(), 1u);
   CHECK_EQ(late->lock_granted.load(), 0u);
   mid->status.store(TxnStatus::kCommitted);
-  f.lm->Release(&f.row, mid, true);
+  f.lm->Release(&f.row, gm.token, true);
   CHECK_EQ(late->lock_granted.load(), 1u);
-  f.lm->Release(&f.row, late, true);
+  f.lm->Release(&f.row, gl.token, true);
   delete holder;
   delete mid;
   delete late;
@@ -120,16 +147,16 @@ void TestReleaseWakesInTimestampOrder() {
 void TestRetireMovesOwnerToRetired() {
   Fixture f(Protocol::kBamboo);
   TxnCB* t = MakeTxn(1);
-  AccessGrant g = f.lm->Acquire(&f.row, t, LockType::kEX, f.buf);
+  AccessGrant g = f.Ex(&f.row, t);
   CHECK(g.rc == AcqResult::kGranted);
   CHECK(g.write_data != nullptr);
   CHECK_EQ(f.lm->OwnerCount(&f.row), 1u);
   CHECK_EQ(f.lm->RetiredCount(&f.row), 0u);
-  f.lm->Retire(&f.row, t);
+  f.lm->Retire(&f.row, g.token);
   CHECK_EQ(f.lm->OwnerCount(&f.row), 0u);
   CHECK_EQ(f.lm->RetiredCount(&f.row), 1u);
   t->status.store(TxnStatus::kCommitted);
-  f.lm->Release(&f.row, t, true);
+  f.lm->Release(&f.row, g.token, true);
   CHECK_EQ(f.lm->RetiredCount(&f.row), 0u);
   delete t;
 }
@@ -137,12 +164,12 @@ void TestRetireMovesOwnerToRetired() {
 void TestBambooReadRetiresAtAcquire() {
   Fixture f(Protocol::kBamboo);  // Opt 1 on by default
   TxnCB* t = MakeTxn(1);
-  AccessGrant g = f.lm->Acquire(&f.row, t, LockType::kSH, f.buf);
+  AccessGrant g = f.Sh(&f.row, t);
   CHECK(g.rc == AcqResult::kGranted);
   CHECK(g.retired);
   CHECK_EQ(f.lm->OwnerCount(&f.row), 0u);
   CHECK_EQ(f.lm->RetiredCount(&f.row), 1u);
-  f.lm->Release(&f.row, t, true);
+  f.lm->Release(&f.row, g.token, true);
   delete t;
 }
 
@@ -153,20 +180,20 @@ void TestBambooAcquireBehindRetiredWriter() {
   TxnCB* reader = MakeTxn(2);
   ThreadStats stats;
   reader->stats = &stats;
-  AccessGrant g = f.lm->Acquire(&f.row, writer, LockType::kEX, f.buf);
-  *reinterpret_cast<uint64_t*>(g.write_data) = 42;
-  f.lm->Retire(&f.row, writer);
+  AccessGrant gw = f.Ex(&f.row, writer);
+  *reinterpret_cast<uint64_t*>(gw.write_data) = 42;
+  f.lm->Retire(&f.row, gw.token);
   // Younger reader joins behind the retired writer: dirty read + dependency.
-  g = f.lm->Acquire(&f.row, reader, LockType::kSH, f.buf);
-  CHECK(g.rc == AcqResult::kGranted);
-  CHECK(g.dirty);
+  AccessGrant gr = f.Sh(&f.row, reader);
+  CHECK(gr.rc == AcqResult::kGranted);
+  CHECK(gr.dirty);
   CHECK_EQ(*reinterpret_cast<uint64_t*>(f.buf), 42u);
   CHECK_EQ(reader->commit_semaphore.load(), 1);
   CHECK_EQ(stats.dirty_reads, 1u);
   writer->status.store(TxnStatus::kCommitted);
-  f.lm->Release(&f.row, writer, true);
+  f.lm->Release(&f.row, gw.token, true);
   CHECK_EQ(reader->commit_semaphore.load(), 0);
-  f.lm->Release(&f.row, reader, true);
+  f.lm->Release(&f.row, gr.token, true);
   delete writer;
   delete reader;
 }
@@ -175,12 +202,13 @@ void TestNoWaitAborts() {
   Fixture f(Protocol::kNoWait);
   TxnCB* t1 = MakeTxn(0);
   TxnCB* t2 = MakeTxn(0);
-  CHECK(f.lm->Acquire(&f.row, t1, LockType::kSH, f.buf).rc ==
-        AcqResult::kGranted);
-  CHECK(f.lm->Acquire(&f.row, t2, LockType::kEX, f.buf).rc ==
-        AcqResult::kAbort);
+  AccessGrant g1 = f.Sh(&f.row, t1);
+  CHECK(g1.rc == AcqResult::kGranted);
+  AccessGrant g2 = f.Ex(&f.row, t2);
+  CHECK(g2.rc == AcqResult::kAbort);
+  CHECK(g2.token == nullptr);
   CHECK_EQ(f.lm->WaiterCount(&f.row), 0u);
-  f.lm->Release(&f.row, t1, true);
+  f.lm->Release(&f.row, g1.token, true);
   delete t1;
   delete t2;
 }
@@ -190,22 +218,43 @@ void TestWaitDieDecision() {
   TxnCB* holder = MakeTxn(10);
   TxnCB* older = MakeTxn(5);
   TxnCB* younger = MakeTxn(20);
-  CHECK(f.lm->Acquire(&f.row, holder, LockType::kEX, f.buf).rc ==
-        AcqResult::kGranted);
+  AccessGrant gh = f.Ex(&f.row, holder);
+  CHECK(gh.rc == AcqResult::kGranted);
   // Older requester waits...
-  CHECK(f.lm->Acquire(&f.row, older, LockType::kSH, f.buf).rc ==
-        AcqResult::kWait);
+  AccessGrant go = f.Sh(&f.row, older);
+  CHECK(go.rc == AcqResult::kWait);
   // ...the younger one dies.
-  CHECK(f.lm->Acquire(&f.row, younger, LockType::kSH, f.buf).rc ==
-        AcqResult::kAbort);
+  CHECK(f.Sh(&f.row, younger).rc == AcqResult::kAbort);
   CHECK(holder->status.load() != TxnStatus::kAborted);  // nobody wounds
   holder->status.store(TxnStatus::kCommitted);
-  f.lm->Release(&f.row, holder, true);
+  f.lm->Release(&f.row, gh.token, true);
   CHECK_EQ(older->lock_granted.load(), 1u);
-  f.lm->Release(&f.row, older, true);
+  f.lm->Release(&f.row, go.token, true);
   delete holder;
   delete older;
   delete younger;
+}
+
+/// Abandoning a wait releases the parked request through its token (the
+/// rollback path for kWait grants): the waiter unlinks in O(1) and its
+/// slot returns to the pool.
+void TestWaiterTokenRelease() {
+  Fixture f(Protocol::kWoundWait);
+  TxnCB* holder = MakeTxn(1);
+  TxnCB* waiter = MakeTxn(2);
+  AccessGrant gh = f.Ex(&f.row, holder);
+  CHECK(gh.rc == AcqResult::kGranted);
+  AccessGrant gw = f.Ex(&f.row, waiter);
+  CHECK(gw.rc == AcqResult::kWait);
+  CHECK_EQ(f.lm->WaiterCount(&f.row), 1u);
+  CHECK_EQ(waiter->pool.live(), 1u);
+  f.lm->Release(&f.row, gw.token, /*committed=*/false);
+  CHECK_EQ(f.lm->WaiterCount(&f.row), 0u);
+  CHECK_EQ(waiter->pool.live(), 0u);
+  holder->status.store(TxnStatus::kCommitted);
+  f.lm->Release(&f.row, gh.token, true);
+  delete holder;
+  delete waiter;
 }
 
 }  // namespace
@@ -222,5 +271,6 @@ int main() {
   RUN_TEST(TestBambooAcquireBehindRetiredWriter);
   RUN_TEST(TestNoWaitAborts);
   RUN_TEST(TestWaitDieDecision);
+  RUN_TEST(TestWaiterTokenRelease);
   return bamboo::test::Summary("lock_table_test");
 }

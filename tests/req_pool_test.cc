@@ -1,8 +1,9 @@
 // Coverage for the zero-allocation lock-table hot path: per-transaction
 // request pools (slot reuse across retries), intrusive-queue unlink under
 // cascading abort, the dependents inline -> spill -> shrink round trip,
-// and an assertion-backed "no heap allocations after warmup" check on a
-// synthetic hotspot. Runs under TSan/ASan via scripts/run_sanitizers.sh.
+// and assertion-backed "no heap allocations after warmup" checks on a
+// synthetic hotspot and on a 1000-op scan through TxnHandle (the row-set
+// dedup fallback). Runs under TSan/ASan via scripts/run_sanitizers.sh.
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -16,10 +17,10 @@
 
 // --- replaceable global allocator, counting every heap allocation ---------
 //
-// The zero-alloc test warms the pools (request slots, dependent pages,
-// version images, arena chunks), snapshots the counter, and asserts the
-// steady-state loop performs zero allocations. Counting stays on for the
-// whole binary; only the assertions look at deltas.
+// The zero-alloc tests warm the pools (request slots, dependent pages,
+// version images, arena chunks, row-set slots), snapshot the counter, and
+// assert the steady-state loop performs zero allocations. Counting stays on
+// for the whole binary; only the assertions look at deltas.
 namespace {
 std::atomic<uint64_t> g_allocs{0};
 }  // namespace
@@ -66,6 +67,21 @@ struct Fixture {
   }
   ~Fixture() { delete lm; }
 
+  AccessGrant Acquire(Row* row, TxnCB* t, LockType type) {
+    AccessRequest req;
+    req.row = row;
+    req.type = type;
+    req.read_buf = buf;
+    return lm->Submit(req, t);
+  }
+  AccessGrant Resume(Row* row, TxnCB* t, LockType type, GrantToken tok) {
+    AccessRequest req;
+    req.row = row;
+    req.type = type;
+    req.read_buf = buf;
+    return lm->Resume(req, t, tok);
+  }
+
   Config cfg;
   std::atomic<uint64_t> ts_counter{0};
   std::atomic<uint64_t> cts_counter{1};
@@ -92,13 +108,13 @@ void TestSlotReuseAcrossRetries() {
   CHECK_EQ(t.pool.live(), 0u);
   for (int attempt = 0; attempt < 100; attempt++) {
     BeginAttempt(&t, 1);
-    AccessGrant g = f.lm->Acquire(&f.row, &t, LockType::kEX, f.buf);
+    AccessGrant g = f.Acquire(&f.row, &t, LockType::kEX);
     CHECK(g.rc == AcqResult::kGranted);
     CHECK_EQ(t.pool.live(), 1u);
     // Half the attempts abort (the retry shape), half commit.
     bool commit = (attempt % 2) == 0;
     if (commit) t.status.store(TxnStatus::kCommitted);
-    f.lm->Release(&f.row, &t, commit);
+    f.lm->Release(&f.row, g.token, commit);
     CHECK_EQ(t.pool.live(), 0u);
   }
   CHECK_EQ(t.pool.capacity(), cap0);
@@ -118,18 +134,18 @@ void TestWaiterSlotRoundTrip() {
   for (int i = 0; i < 20; i++) {
     BeginAttempt(&holder, 1);
     BeginAttempt(&waiter, 2);
-    CHECK(f.lm->Acquire(&f.row, &holder, LockType::kEX, f.buf).rc ==
-          AcqResult::kGranted);
-    CHECK(f.lm->Acquire(&f.row, &waiter, LockType::kSH, f.buf).rc ==
-          AcqResult::kWait);
+    AccessGrant gh = f.Acquire(&f.row, &holder, LockType::kEX);
+    CHECK(gh.rc == AcqResult::kGranted);
+    AccessGrant gw = f.Acquire(&f.row, &waiter, LockType::kSH);
+    CHECK(gw.rc == AcqResult::kWait);
     CHECK_EQ(waiter.pool.live(), 1u);
     holder.status.store(TxnStatus::kCommitted);
-    f.lm->Release(&f.row, &holder, true);
+    f.lm->Release(&f.row, gh.token, true);
     CHECK_EQ(waiter.lock_granted.load(), 1u);
-    CHECK(f.lm->CompleteAcquire(&f.row, &waiter, LockType::kSH, f.buf).rc ==
-          AcqResult::kGranted);
+    AccessGrant gr = f.Resume(&f.row, &waiter, LockType::kSH, gw.token);
+    CHECK(gr.rc == AcqResult::kGranted);
     waiter.status.store(TxnStatus::kCommitted);
-    f.lm->Release(&f.row, &waiter, true);
+    f.lm->Release(&f.row, gr.token, true);
     CHECK_EQ(waiter.pool.live(), 0u);
     CHECK_EQ(holder.pool.live(), 0u);
   }
@@ -148,33 +164,36 @@ void TestCascadeUnlinkReturnsSlots() {
   constexpr int kReaders = 5;
   TxnCB readers[kReaders];
   ThreadStats rstats[kReaders];
+  AccessGrant wgrants[3];
+  AccessGrant rgrants[kReaders];
 
   BeginAttempt(&writer, 1);
-  for (Row& r : rows) {
-    AccessGrant g = f.lm->Acquire(&r, &writer, LockType::kEX, f.buf);
-    CHECK(g.rc == AcqResult::kGranted);
-    f.lm->Retire(&r, &writer);
+  for (int i = 0; i < 3; i++) {
+    wgrants[i] = f.Acquire(&rows[i], &writer, LockType::kEX);
+    CHECK(wgrants[i].rc == AcqResult::kGranted);
+    f.lm->Retire(&rows[i], wgrants[i].token);
   }
   CHECK_EQ(writer.pool.live(), 3u);
   for (int i = 0; i < kReaders; i++) {
     readers[i].stats = &rstats[i];
     BeginAttempt(&readers[i], 10 + static_cast<uint64_t>(i));
-    AccessGrant g =
-        f.lm->Acquire(&rows[i % 3], &readers[i], LockType::kSH, f.buf);
-    CHECK(g.rc == AcqResult::kGranted);
-    CHECK(g.dirty);
+    rgrants[i] = f.Acquire(&rows[i % 3], &readers[i], LockType::kSH);
+    CHECK(rgrants[i].rc == AcqResult::kGranted);
+    CHECK(rgrants[i].dirty);
     CHECK_EQ(readers[i].commit_semaphore.load(), 1);
   }
 
   // The retired writer aborts: every dependent dies with it, on every row.
   int wounded = 0;
-  for (Row& r : rows) wounded += f.lm->Release(&r, &writer, false);
+  for (int i = 0; i < 3; i++) {
+    wounded += f.lm->Release(&rows[i], wgrants[i].token, false);
+  }
   CHECK_EQ(wounded, kReaders);
   CHECK_EQ(writer.pool.live(), 0u);
   for (int i = 0; i < kReaders; i++) {
     CHECK(readers[i].IsAborted());
     CHECK(readers[i].abort_was_cascade.load());
-    f.lm->Release(&rows[i % 3], &readers[i], false);
+    f.lm->Release(&rows[i % 3], rgrants[i].token, false);
     CHECK_EQ(readers[i].pool.live(), 0u);
   }
   for (Row& r : rows) {
@@ -196,20 +215,20 @@ void TestDependentsSpillRoundTrip() {
   ThreadStats wstats, rstats;
   writer.stats = &wstats;
   TxnCB readers[kReaders];
+  AccessGrant rgrants[kReaders];
 
   BeginAttempt(&writer, 1);
-  AccessGrant g = f.lm->Acquire(&f.row, &writer, LockType::kEX, f.buf);
-  CHECK(g.rc == AcqResult::kGranted);
-  f.lm->Retire(&f.row, &writer);
+  AccessGrant gw = f.Acquire(&f.row, &writer, LockType::kEX);
+  CHECK(gw.rc == AcqResult::kGranted);
+  f.lm->Retire(&f.row, gw.token);
 
   auto attach_readers = [&]() {
     for (uint32_t i = 0; i < kReaders; i++) {
       readers[i].stats = &rstats;
       BeginAttempt(&readers[i], 10 + static_cast<uint64_t>(i));
-      AccessGrant rg = f.lm->Acquire(&f.row, &readers[i], LockType::kSH,
-                                     f.buf);
-      CHECK(rg.rc == AcqResult::kGranted);
-      CHECK(rg.dirty);
+      rgrants[i] = f.Acquire(&f.row, &readers[i], LockType::kSH);
+      CHECK(rgrants[i].rc == AcqResult::kGranted);
+      CHECK(rgrants[i].dirty);
     }
   };
   attach_readers();
@@ -221,7 +240,7 @@ void TestDependentsSpillRoundTrip() {
   // Shrink: all but three readers release; their records are scrubbed and
   // the now-empty tail pages return to the pool.
   for (uint32_t i = 3; i < kReaders; i++) {
-    f.lm->Release(&f.row, &readers[i], false);
+    f.lm->Release(&f.row, rgrants[i].token, false);
   }
   CHECK_EQ(f.lm->DependentCount(&f.row, &writer), 3u);
 
@@ -232,18 +251,17 @@ void TestDependentsSpillRoundTrip() {
   }
   uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
   for (uint32_t i = 3; i < kReaders; i++) {
-    AccessGrant rg = f.lm->Acquire(&f.row, &readers[i], LockType::kSH,
-                                   f.buf);
-    CHECK(rg.rc == AcqResult::kGranted);
+    rgrants[i] = f.Acquire(&f.row, &readers[i], LockType::kSH);
+    CHECK(rgrants[i].rc == AcqResult::kGranted);
   }
   CHECK_EQ(g_allocs.load(std::memory_order_relaxed) - allocs_before, 0u);
   CHECK_EQ(f.lm->DependentCount(&f.row, &writer), kReaders);
   CHECK(rstats.pool_spills >= 4u);  // the re-spill grabbed pages again
 
   // Cleanup: the writer aborts; the whole wave cascades.
-  f.lm->Release(&f.row, &writer, false);
+  f.lm->Release(&f.row, gw.token, false);
   for (uint32_t i = 0; i < kReaders; i++) {
-    f.lm->Release(&f.row, &readers[i], false);
+    f.lm->Release(&f.row, rgrants[i].token, false);
   }
   CHECK_EQ(f.lm->RetiredCount(&f.row), 0u);
 }
@@ -285,6 +303,13 @@ void TestZeroAllocAfterWarmup() {
     v++;
     std::memcpy(d, &v, 8);
   };
+  auto acquire = [&](Row* row, TxnCB* cb, LockType type) {
+    AccessRequest req;
+    req.row = row;
+    req.type = type;
+    req.read_buf = buf;
+    return lm->Submit(req, cb);
+  };
 
   auto iteration = [&](uint64_t i) {
     // Writer RMW-retires the hotspot and reads cold rows; the reader
@@ -306,17 +331,21 @@ void TestZeroAllocAfterWarmup() {
     begin(&ycb);
     zcb.ts.store(100, std::memory_order_relaxed);
     ycb.ts.store(200, std::memory_order_relaxed);
-    CHECK(lm->Acquire(park_row, &zcb, LockType::kEX, buf).rc ==
-          AcqResult::kGranted);
-    CHECK(lm->Acquire(park_row, &ycb, LockType::kSH, buf).rc ==
-          AcqResult::kWait);
+    AccessGrant gz = acquire(park_row, &zcb, LockType::kEX);
+    CHECK(gz.rc == AcqResult::kGranted);
+    AccessGrant gy = acquire(park_row, &ycb, LockType::kSH);
+    CHECK(gy.rc == AcqResult::kWait);
     zcb.status.store(TxnStatus::kCommitted);
-    lm->Release(park_row, &zcb, true);
+    lm->Release(park_row, gz.token, true);
     CHECK_EQ(ycb.lock_granted.load(), 1u);
-    CHECK(lm->CompleteAcquire(park_row, &ycb, LockType::kSH, buf).rc ==
-          AcqResult::kGranted);
+    AccessRequest resume_req;
+    resume_req.row = park_row;
+    resume_req.type = LockType::kSH;
+    resume_req.read_buf = buf;
+    AccessGrant gr = lm->Resume(resume_req, &ycb, gy.token);
+    CHECK(gr.rc == AcqResult::kGranted);
     ycb.status.store(TxnStatus::kCommitted);
-    lm->Release(park_row, &ycb, true);
+    lm->Release(park_row, gr.token, true);
 
     CHECK(w.Commit(RC::kOk) == RC::kOk);
     CHECK(r.Commit(RC::kOk) == RC::kOk);
@@ -326,6 +355,69 @@ void TestZeroAllocAfterWarmup() {
 
   uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
   for (uint64_t i = 0; i < 256; i++) iteration(i);
+  uint64_t delta = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  CHECK_EQ(delta, 0u);
+}
+
+/// The executor-layer gate: a 1000-op scan through TxnHandle exceeds the
+/// linear-dedup threshold, so it exercises the pooled RowSet fallback, the
+/// arena, the access vector, the request pool's slab growth, and the
+/// ReadMany batch scratch. After one warmup scan of each shape the
+/// steady-state scans perform zero heap allocations -- the executor joins
+/// the lock table's zero-allocation guarantee (the old unordered_set
+/// fallback allocated a node per access, every attempt).
+void TestZeroAllocLongScanThroughHandle() {
+  constexpr uint64_t kRows = 1000;
+  Config cfg;
+  cfg.protocol = Protocol::kBamboo;
+  cfg.num_threads = 1;
+  Database db(cfg);
+  Schema schema;
+  schema.AddColumn("v", 8);
+  Table* table = db.catalog()->CreateTable("t", schema);
+  HashIndex* index = db.catalog()->CreateIndex("t_pk", kRows);
+  for (uint64_t k = 0; k < kRows; k++) db.LoadRow(table, index, k);
+
+  TxnCB cb;
+  ThreadStats stats;
+  cb.stats = &stats;
+  TxnHandle h(&db, &cb);
+  auto begin = [&]() {
+    cb.txn_seq.fetch_add(1, std::memory_order_relaxed);
+    cb.ResetForAttempt(false);
+    db.cc()->Begin(&cb);
+  };
+
+  static uint64_t keys[kRows];
+  static const char* data_out[kRows];
+  for (uint64_t k = 0; k < kRows; k++) keys[k] = k;
+
+  auto scan_per_key = [&]() {
+    begin();
+    cb.planned_ops = static_cast<int>(kRows);
+    for (uint64_t k = 0; k < kRows; k++) {
+      const char* d = nullptr;
+      CHECK(h.Read(index, k, &d) == RC::kOk);
+    }
+    CHECK(h.Commit(RC::kOk) == RC::kOk);
+  };
+  auto scan_batched = [&]() {
+    begin();
+    cb.planned_ops = static_cast<int>(kRows);
+    CHECK(h.ReadMany(index, keys, static_cast<int>(kRows), data_out) ==
+          RC::kOk);
+    CHECK(h.Commit(RC::kOk) == RC::kOk);
+  };
+
+  // Warmup: one scan of each shape sizes every retained structure.
+  scan_per_key();
+  scan_batched();
+
+  uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  for (int rep = 0; rep < 4; rep++) {
+    scan_per_key();
+    scan_batched();
+  }
   uint64_t delta = g_allocs.load(std::memory_order_relaxed) - allocs_before;
   CHECK_EQ(delta, 0u);
 }
@@ -340,5 +432,6 @@ int main() {
   RUN_TEST(TestCascadeUnlinkReturnsSlots);
   RUN_TEST(TestDependentsSpillRoundTrip);
   RUN_TEST(TestZeroAllocAfterWarmup);
+  RUN_TEST(TestZeroAllocLongScanThroughHandle);
   return bamboo::test::Summary("req_pool_test");
 }

@@ -129,6 +129,78 @@ void TestOptionsFromEnvRoundTrip() {
   unsetenv("BB_TPCC_CUST");
 }
 
+/// Batch multi-key semantics through TxnHandle: ReadMany returns every key
+/// in caller order with duplicates sharing one copy; UpdateRmwMany applies
+/// the RMW once per occurrence with duplicates coalesced into a single
+/// grant (under Bamboo the first grant retires the write, so un-coalesced
+/// repeats would doom the attempt); results survive commit.
+void TestBatchMultiKeyOps() {
+  const Protocol protocols[] = {Protocol::kBamboo, Protocol::kWoundWait};
+  for (Protocol p : protocols) {
+    Config cfg;
+    cfg.protocol = p;
+    Database db(cfg);
+    Schema schema;
+    schema.AddColumn("v", 8);
+    Table* table = db.catalog()->CreateTable("t", schema);
+    HashIndex* index = db.catalog()->CreateIndex("t_pk", 16);
+    for (uint64_t k = 0; k < 16; k++) {
+      uint64_t init = 100 + k;
+      std::memcpy(db.LoadRow(table, index, k)->base(), &init, 8);
+    }
+
+    ThreadStats stats;
+    TxnCB cb;
+    cb.stats = &stats;
+    TxnHandle h(&db, &cb);
+    auto begin = [&]() {
+      cb.txn_seq.fetch_add(1, std::memory_order_relaxed);
+      cb.ResetForAttempt(false);
+      db.cc()->Begin(&cb);
+    };
+    auto base_val = [&](uint64_t k) {
+      uint64_t v;
+      std::memcpy(&v, index->Get(k)->base(), 8);
+      return v;
+    };
+
+    // ReadMany: unsorted input, duplicate key 5; caller-order results.
+    begin();
+    cb.planned_ops = 5;
+    const uint64_t rkeys[5] = {9, 5, 2, 5, 11};
+    const char* data[5] = {};
+    CHECK(h.ReadMany(index, rkeys, 5, data) == RC::kOk);
+    for (int i = 0; i < 5; i++) {
+      uint64_t v;
+      std::memcpy(&v, data[i], 8);
+      CHECK_EQ(v, 100 + rkeys[i]);
+    }
+    CHECK(data[1] == data[3]);  // duplicate shares the copy
+    CHECK(h.Commit(RC::kOk) == RC::kOk);
+
+    // UpdateRmwMany: duplicate key 7 bumps twice, key 3 once.
+    RmwFn bump = [](char* d, void*) {
+      uint64_t v;
+      std::memcpy(&v, d, 8);
+      v++;
+      std::memcpy(d, &v, 8);
+    };
+    begin();
+    cb.planned_ops = 3;
+    const uint64_t wkeys[3] = {7, 3, 7};
+    CHECK(h.UpdateRmwMany(index, wkeys, 3, bump, nullptr) == RC::kOk);
+    CHECK(h.Commit(RC::kOk) == RC::kOk);
+    CHECK_EQ(base_val(7), 109u);  // 107 + 2
+    CHECK_EQ(base_val(3), 104u);  // 103 + 1
+
+    // A missing key fails the whole batch attempt.
+    begin();
+    const uint64_t missing[2] = {1, 999};
+    CHECK(h.ReadMany(index, missing, 2, data) == RC::kAbort);
+    CHECK(h.Commit(RC::kAbort) == RC::kAbort);
+  }
+}
+
 void TestYcsbRunsShort() {
   Config cfg;
   cfg.protocol = Protocol::kBamboo;
@@ -151,6 +223,7 @@ int main() {
   RUN_TEST(TestZipfDistribution);
   RUN_TEST(TestTpccCommitsUnderEveryProtocol);
   RUN_TEST(TestOptionsFromEnvRoundTrip);
+  RUN_TEST(TestBatchMultiKeyOps);
   RUN_TEST(TestYcsbRunsShort);
   return bamboo::test::Summary("workload_test");
 }

@@ -34,6 +34,10 @@ bool EnvFlag(const char* name) {
   const char* v = std::getenv(name);
   return v != nullptr && v[0] == '1';
 }
+std::string EnvStr(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : std::string();
+}
 }  // namespace
 
 Options FromEnv() {
@@ -45,6 +49,11 @@ Options FromEnv() {
   o.ycsb_rows = EnvU64("BB_YCSB_ROWS", 100000);
   o.tpcc_customers =
       static_cast<int>(EnvU64("BB_TPCC_CUST", o.full ? 3000 : 300));
+  o.log_dir = EnvStr("BB_LOG_DIR");
+  o.log_epoch_us = EnvDouble("BB_LOG_EPOCH_US", 10000.0);
+  // Default-on flag: only an explicit leading '0' disables the fsync.
+  const char* fs = std::getenv("BB_LOG_FSYNC");
+  o.log_fsync = fs == nullptr || fs[0] != '0';
   return o;
 }
 
@@ -59,6 +68,12 @@ Config Options::BaseConfig() const {
   cfg.warmup_seconds = warmup;
   cfg.ycsb_rows = ycsb_rows;
   cfg.tpcc_customers_per_district = tpcc_customers;
+  if (!log_dir.empty()) {
+    cfg.log_enabled = true;
+    cfg.log_dir = log_dir;
+    cfg.log_epoch_us = log_epoch_us;
+    cfg.log_fsync = log_fsync;
+  }
   return cfg;
 }
 

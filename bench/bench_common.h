@@ -20,6 +20,10 @@ namespace bench {
 ///   BB_YCSB_ROWS        YCSB table size                   (default 100000)
 ///   BB_TPCC_CUST        TPC-C customers per district      (default 300;
 ///                       full mode: 3000)
+///   BB_LOG_DIR          enable the WAL, logging into this directory
+///                       (default: unset, logging off)
+///   BB_LOG_EPOCH_US     group-commit epoch length in us   (default 10000)
+///   BB_LOG_FSYNC=0      skip the per-epoch fsync          (default on)
 ///
 /// Default sweeps are sized for a small multi-core box; the paper's axes
 /// are preserved (thread counts beyond the core count exercise identical
@@ -30,6 +34,9 @@ struct Options {
   bool full = false;
   uint64_t ycsb_rows = 100000;
   int tpcc_customers = 300;
+  std::string log_dir;  ///< empty = logging off
+  double log_epoch_us = 10000.0;
+  bool log_fsync = true;
 
   /// Thread sweep for "vary thread count" figures.
   std::vector<int> ThreadSweep() const;

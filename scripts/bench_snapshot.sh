@@ -9,7 +9,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr5.json}"
+OUT="${2:-BENCH_pr6.json}"
 
 if [ ! -x "$BUILD_DIR/bench_single_hotspot" ]; then
   cmake -B "$BUILD_DIR" -S .
@@ -27,6 +27,15 @@ to_num='{v=$2; u=substr(v,length(v),1); n=v+0;
          printf "%.0f", n; exit}'
 bamboo_tput=$(printf '%s\n' "$hot_out" | awk '$1=="BAMBOO"'" $to_num")
 ww_tput=$(printf '%s\n' "$hot_out" | awk '$1=="WOUND_WAIT"'" $to_num")
+
+# Same hotspot with the WAL on (group-commit epoch at its default 10ms):
+# the logging tax on the headline number, and the durability counters.
+LOG_DIR=$(mktemp -d)
+trap 'rm -rf "$LOG_DIR"' EXIT INT TERM
+log_out=$(BB_BENCH_DURATION="$DUR" BB_BENCH_WARMUP="$WARM" \
+          BB_LOG_DIR="$LOG_DIR" "$BUILD_DIR/bench_single_hotspot")
+bamboo_log_tput=$(printf '%s\n' "$log_out" | awk '$1=="BAMBOO"'" $to_num")
+ww_log_tput=$(printf '%s\n' "$log_out" | awk '$1=="WOUND_WAIT"'" $to_num")
 
 # Lock-table microbenchmarks (ns/op), when google-benchmark is available.
 sh_ns=null; ex_ns=null; txn16_ns=null; chain_ns=null; multiget_ns=null
@@ -58,6 +67,13 @@ cat > "$OUT" <<EOF
   "single_hotspot_8t": {
     "bamboo_txn_per_s": ${bamboo_tput:-null},
     "wound_wait_txn_per_s": ${ww_tput:-null}
+  },
+  "single_hotspot_8t_logged": {
+    "bamboo_txn_per_s": ${bamboo_log_tput:-null},
+    "wound_wait_txn_per_s": ${ww_log_tput:-null},
+    "bamboo_log_on_off_ratio": $(awk -v a="${bamboo_log_tput:-0}" \
+        -v b="${bamboo_tput:-0}" \
+        'BEGIN { if (b > 0) printf "%.3f", a / b; else print "null" }')
   },
   "lock_micro_ns": {
     "acquire_release_sh": $sh_ns,

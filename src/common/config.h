@@ -2,6 +2,7 @@
 #define BAMBOO_SRC_COMMON_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 namespace bamboo {
 
@@ -46,8 +47,19 @@ struct Config {
   double warmup_seconds = 0.08;
   /// Simulated client<->server round trip per statement in interactive mode.
   double interactive_rtt_us = 50.0;
-  /// Placeholder for the future WAL subsystem; no logging is performed yet.
+  // --- Durability: WAL with epoch group commit (src/db/wal.h). The Silo
+  // baseline bypasses the lock-based commit path and is not logged.
   bool log_enabled = false;
+  /// Directory for the log file; logging requires a non-empty, writable
+  /// directory (wal.log inside it is truncated per Database).
+  std::string log_dir;
+  /// Group-commit epoch length: the log writer flushes + fsyncs and
+  /// advances the durable watermark once per epoch. 10ms keeps the writer
+  /// thread's wakeups off the workers' critical path (Silo's group commit
+  /// runs 40ms epochs); shorten it to trade throughput for ack latency.
+  double log_epoch_us = 10000.0;
+  /// fsync per epoch (off trades crash safety for I/O-bound test speed).
+  bool log_fsync = true;
 
   // --- Bamboo ablation switches (Section 3.5). All default to the paper's
   // full configuration; bench_opt_ablation toggles them individually.

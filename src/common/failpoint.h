@@ -1,0 +1,102 @@
+#ifndef BAMBOO_SRC_COMMON_FAILPOINT_H_
+#define BAMBOO_SRC_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <unistd.h>
+
+namespace bamboo {
+
+/// Env-driven fault injection for the durability path.
+///
+///   BB_FAILPOINT="name:N[,name:N...]"
+///
+/// arms `name` to fire on its Nth evaluation (N >= 1); each point fires at
+/// most once per process. Points currently wired into the WAL writer:
+///
+///   wal_short_write         cap one write() to a single byte, exercising
+///                           the partial-write retry loop
+///   wal_fsync_error         report one fsync failure; the log goes
+///                           failed-sticky and stops advancing durability
+///   wal_crash_mid_write     persist only half of this epoch's batch, then
+///                           SIGKILL (leaves a torn tail on disk)
+///   wal_crash_after_durable SIGKILL right after the Nth durable-epoch
+///                           advance (acknowledged state is on disk)
+///
+/// When BB_FAILPOINT is unset (the default) every Eval is one branch on a
+/// cold flag, so the hooks can stay compiled into release builds.
+class Failpoints {
+ public:
+  /// True exactly when `name`'s armed countdown hits zero on this call.
+  static bool Eval(const char* name) {
+    Failpoints& fp = Instance();
+    if (!fp.armed_) return false;
+    return fp.EvalSlow(name);
+  }
+
+  /// Die the way a power cut looks to the process: no atexit, no flushes.
+  [[noreturn]] static void Crash() {
+    raise(SIGKILL);
+    _exit(137);  // unreachable unless SIGKILL is somehow blocked
+  }
+
+ private:
+  static constexpr int kMaxPoints = 8;
+  struct Point {
+    char name[48] = {0};
+    std::atomic<uint64_t> remaining{0};
+  };
+
+  Failpoints() {
+    const char* env = std::getenv("BB_FAILPOINT");
+    if (env == nullptr || env[0] == '\0') return;
+    const char* p = env;
+    while (*p != '\0' && n_points_ < kMaxPoints) {
+      const char* colon = std::strchr(p, ':');
+      if (colon == nullptr) break;
+      size_t len = static_cast<size_t>(colon - p);
+      if (len == 0 || len >= sizeof(Point::name)) break;
+      Point& pt = points_[n_points_];
+      std::memcpy(pt.name, p, len);
+      pt.name[len] = '\0';
+      char* end = nullptr;
+      uint64_t n = std::strtoull(colon + 1, &end, 10);
+      if (end == colon + 1 || n == 0) break;  // malformed: stop parsing
+      pt.remaining.store(n, std::memory_order_relaxed);
+      n_points_++;
+      p = (*end == ',') ? end + 1 : end;
+      if (*end != ',') break;
+    }
+    armed_ = n_points_ > 0;
+  }
+
+  bool EvalSlow(const char* name) {
+    for (int i = 0; i < n_points_; i++) {
+      if (std::strcmp(points_[i].name, name) != 0) continue;
+      uint64_t r = points_[i].remaining.load(std::memory_order_relaxed);
+      while (r > 0) {
+        if (points_[i].remaining.compare_exchange_weak(
+                r, r - 1, std::memory_order_relaxed)) {
+          return r == 1;  // the Nth evaluation fires
+        }
+      }
+      return false;
+    }
+    return false;
+  }
+
+  static Failpoints& Instance() {
+    static Failpoints fp;
+    return fp;
+  }
+
+  bool armed_ = false;
+  int n_points_ = 0;
+  Point points_[kMaxPoints];
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_COMMON_FAILPOINT_H_

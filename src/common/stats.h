@@ -31,6 +31,18 @@ struct alignas(kCacheLineSize) ThreadStats {
   uint64_t latch_waits = 0;   ///< futex parks on entry latches
   uint64_t pool_spills = 0;   ///< dependent lists that overflowed inline space
 
+  // --- durability (WAL epoch group commit). log_bytes/log_fsyncs come
+  // from the log writer (folded in at run end); the other two are counted
+  // by workers at durable-acknowledgment time.
+  uint64_t log_bytes = 0;   ///< record bytes staged into the log
+  uint64_t log_fsyncs = 0;  ///< epoch fsyncs issued by the log writer
+  /// Sum over acknowledgments of (durable epoch at ack - commit epoch):
+  /// how far commits run ahead of the group-commit watermark.
+  uint64_t durable_lag_epochs = 0;
+  /// Commits whose durable ack was still gated by a retired-chain
+  /// dependency's epoch when they first checked the watermark.
+  uint64_t commits_awaiting_dep = 0;
+
   void Add(const ThreadStats& o) {
     commits += o.commits;
     aborts += o.aborts;
@@ -45,6 +57,10 @@ struct alignas(kCacheLineSize) ThreadStats {
     latch_spins += o.latch_spins;
     latch_waits += o.latch_waits;
     pool_spills += o.pool_spills;
+    log_bytes += o.log_bytes;
+    log_fsyncs += o.log_fsyncs;
+    durable_lag_epochs += o.durable_lag_epochs;
+    commits_awaiting_dep += o.commits_awaiting_dep;
   }
 
   void Reset() { *this = ThreadStats(); }

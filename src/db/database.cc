@@ -1,9 +1,24 @@
 #include "src/db/database.h"
 
+#include "src/db/wal.h"
+
 namespace bamboo {
+
+Database::Database(const Config& cfg) : cfg_(cfg), cc_(cfg_) {
+  // The Silo baseline commits through its seqlock path, which carries no
+  // WAL hooks; logging is a lock-based-protocols feature.
+  if (cfg_.log_enabled && !cfg_.log_dir.empty() &&
+      cfg_.protocol != Protocol::kSilo) {
+    wal_ = std::make_unique<Wal>(cfg_);
+    if (!wal_->ok()) wal_.reset();
+  }
+}
+
+Database::~Database() = default;
 
 Table* Catalog::CreateTable(const std::string& name, const Schema& schema) {
   tables_.push_back(std::make_unique<Table>(name, schema));
+  tables_.back()->set_id(static_cast<uint32_t>(tables_.size() - 1));
   return tables_.back().get();
 }
 

@@ -14,6 +14,9 @@
 
 namespace bamboo {
 
+class Wal;
+struct RecoveryResult;
+
 /// Owns tables and indexes; names are looked up at load time only.
 class Catalog {
  public:
@@ -81,6 +84,15 @@ class CCManager {
 
   LockManager* locks() { return &locks_; }
 
+  /// Resume both CTS counters above everything recovery replayed, so
+  /// post-recovery commits never collide with pre-crash stamps. Called by
+  /// Database::Recover only (single-threaded, before workers start).
+  void RecoverCts(uint64_t max_cts) {
+    uint64_t v = max_cts > 1 ? max_cts : 1;
+    cts_alloc_.store(v, std::memory_order_relaxed);
+    cts_stamped_.store(v, std::memory_order_relaxed);
+  }
+
  private:
   const Config& cfg_;
   std::atomic<uint64_t> ts_counter_{0};
@@ -94,26 +106,55 @@ class CCManager {
 
 /// Facade tying config, catalog and concurrency control together. One
 /// Database per bench data point; worker threads share it.
+///
+/// With `log_enabled` (and a log_dir) the Database owns a Wal: committing
+/// transactions append their after-images and are acknowledged durable
+/// only once the group-commit watermark covers them; Recover replays a
+/// crashed Database's log into a freshly loaded one.
 class Database {
  public:
-  explicit Database(const Config& cfg) : cfg_(cfg), cc_(cfg_) {}
+  explicit Database(const Config& cfg);
+  ~Database();
 
   Catalog* catalog() { return &catalog_; }
   CCManager* cc() { return &cc_; }
   const Config& config() const { return cfg_; }
+  /// The write-ahead log, or nullptr when logging is off (also for the
+  /// Silo baseline, whose seqlock commit path bypasses the WAL hooks).
+  Wal* wal() const { return wal_.get(); }
 
   /// Create one row in `table` and register it in `index` under `key`.
-  /// Returns the row so loaders can fill in the initial image.
+  /// Returns the row so loaders can fill in the initial image. Also stamps
+  /// the row's WAL identity and remembers table->index for recovery.
   Row* LoadRow(Table* table, HashIndex* index, uint64_t key) {
     Row* row = table->CreateRow();
     index->Put(key, row);
+    row->SetWalId(table->id(), key);
+    uint32_t tid = table->id();
+    if (tid >= table_index_.size()) table_index_.resize(tid + 1, nullptr);
+    table_index_[tid] = index;
     return row;
   }
+
+  /// Index registered for `table_id`'s rows (recovery lookup), or nullptr.
+  HashIndex* RecoveryIndex(uint32_t table_id) const {
+    return table_id < table_index_.size() ? table_index_[table_id] : nullptr;
+  }
+
+  /// Replay `log_dir`'s write-ahead log into this (freshly loaded)
+  /// Database: scan, verify checksums, refuse the torn tail, install the
+  /// prefix-closed record set up to the last fully-durable epoch, and
+  /// resume the CTS authority past every replayed stamp. Call after the
+  /// workload's Load and before any transaction runs. (Defined in wal.cc.)
+  RecoveryResult Recover(const std::string& log_dir);
 
  private:
   Config cfg_;
   Catalog catalog_;
   CCManager cc_;
+  /// Recovery lookup: table id -> the index its rows were loaded under.
+  std::vector<HashIndex*> table_index_;
+  std::unique_ptr<Wal> wal_;
 };
 
 }  // namespace bamboo

@@ -937,6 +937,22 @@ int LockManager::RetireDependentsAndFree(LockReq* req, bool committed) {
     TxnCB* dep = rec->txn;
     if (dep->txn_seq.load(std::memory_order_acquire) != rec->seq) continue;
     if (committed) {
+      // Dependency-aware durability: hand the dependent our durable-ack
+      // epoch before lifting its commit barrier, so it can never be
+      // acknowledged durable while our (or, transitively, our own
+      // dependencies') log records are still in flight. Propagating the
+      // ack epoch rather than the commit epoch keeps the rule transitive
+      // through read-only links. Atomic max: several released writers may
+      // race on one dependent.
+      uint64_t ack = req->txn->log_ack_epoch;
+      if (ack != 0) {
+        uint64_t cur = dep->dep_log_epoch.load(std::memory_order_relaxed);
+        while (cur < ack &&
+               !dep->dep_log_epoch.compare_exchange_weak(
+                   cur, ack, std::memory_order_release,
+                   std::memory_order_relaxed)) {
+        }
+      }
       if (dep->commit_semaphore.fetch_sub(1, std::memory_order_acq_rel) ==
           1) {
         // Last barrier gone: if the dependent's worker already handed

@@ -87,6 +87,21 @@ struct alignas(64) TxnCB {
   /// on the same hot row forever.
   bool raw_suppressed = false;
 
+  // --- durability (WAL epoch group commit; all 0 when logging is off).
+  /// Group-commit epoch of this transaction's own log records, set by the
+  /// committing thread right after the commit-point CAS (0 = read-only,
+  /// nothing logged). Only that thread reads it back.
+  uint64_t log_epoch = 0;
+  /// Durable-ack gate: max(log_epoch, every dependency's ack epoch). The
+  /// commit may be acknowledged durable only once Wal::durable_epoch
+  /// covers it -- so a transaction that consumed a retired writer's dirty
+  /// state is never acknowledged before that writer's records are on disk.
+  uint64_t log_ack_epoch = 0;
+  /// Running max of the ack epochs of retired-chain dependencies, written
+  /// by their releasing threads (lock_table.cc) before they lift this
+  /// transaction's commit barrier; complete once commit_semaphore drains.
+  std::atomic<uint64_t> dep_log_epoch{0};
+
   // --- detached (pipelined) commit handshake.
   // A worker whose transaction finished its work but still has a nonzero
   // commit semaphore can hand the commit off instead of blocking: whoever
@@ -133,6 +148,9 @@ struct alignas(64) TxnCB {
     raw_snapshot_cts.store(0, std::memory_order_relaxed);
     snapshot_invalid.store(false, std::memory_order_relaxed);
     wrote_any.store(false, std::memory_order_relaxed);
+    log_epoch = 0;
+    log_ack_epoch = 0;
+    dep_log_epoch.store(0, std::memory_order_relaxed);
     detached.store(false, std::memory_order_relaxed);
     detach_state.store(0, std::memory_order_relaxed);
     planned_ops = 0;

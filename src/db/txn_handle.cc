@@ -528,16 +528,47 @@ RC TxnHandle::Commit(RC user_rc) {
   // which is correct because a snapshot pins the *published* watermark --
   // every stamp at or below it is already visible. Only the raw-read
   // configuration consumes commit timestamps; the baselines skip the draw
-  // so the in-order publication never serializes their commits.
-  if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read) {
+  // so the in-order publication never serializes their commits -- unless
+  // logging is on, where the CTS orders same-row records within an epoch
+  // on replay.
+  if ((cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read) ||
+      db_->wal() != nullptr) {
     db_->cc()->StampCommit(txn_);
   }
+  LogCommitRecords();
   for (const Access& a : accesses_) {
     if (a.state == AccState::kSnapshot) continue;
     lm_->Release(a.row, a.token, /*committed=*/true);
   }
   accesses_.clear();
   return RC::kOk;
+}
+
+void TxnHandle::LogCommitRecords() {
+  Wal* wal = db_->wal();
+  if (wal == nullptr) return;
+  wal_writes_.clear();
+  for (const Access& a : accesses_) {
+    if (a.type != LockType::kEX || a.data == nullptr ||
+        a.state == AccState::kSnapshot || a.state == AccState::kWaiting) {
+      continue;
+    }
+    wal_writes_.push_back({a.row->wal_table_id(), a.row->wal_key(), a.data,
+                           a.row->size()});
+  }
+  uint64_t e = 0;
+  if (!wal_writes_.empty()) {
+    e = wal->LogCommit(txn_->commit_cts.load(std::memory_order_relaxed),
+                       wal_writes_.data(),
+                       static_cast<int>(wal_writes_.size()));
+  }
+  // The commit barrier has drained (we are past the kCommitted CAS), so
+  // every dependency already propagated its ack epoch; the max makes the
+  // durable-ack rule transitive. Must be set before the releases below
+  // hand *our* ack epoch to our own dependents.
+  txn_->log_epoch = e;
+  uint64_t dep = txn_->dep_log_epoch.load(std::memory_order_acquire);
+  txn_->log_ack_epoch = e > dep ? e : dep;
 }
 
 void TxnHandle::CompleteDetachedThunk(TxnCB* txn) {
@@ -549,9 +580,15 @@ void TxnHandle::CompleteDetached() {
   bool committed = txn_->status.compare_exchange_strong(
       expected, TxnStatus::kCommitted, std::memory_order_acq_rel);
   if (committed) {
-    if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read) {
+    if ((cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read) ||
+        db_->wal() != nullptr) {
       db_->cc()->StampCommit(txn_);
     }
+    // A detached commit defers its durable ack like any other: the ack
+    // epoch lands in the TxnCB before the releases, and the origin worker
+    // gates the commit's acknowledgment on the durable watermark when it
+    // reclaims the slot.
+    LogCommitRecords();
   } else {
     // Wounded while detached: finish the rollback on its behalf.
     txn_->status.store(TxnStatus::kAborted, std::memory_order_release);

@@ -8,6 +8,7 @@
 
 #include "src/db/database.h"
 #include "src/db/txn.h"
+#include "src/db/wal.h"
 #include "src/storage/row.h"
 
 namespace bamboo {
@@ -199,6 +200,13 @@ class TxnHandle {
   static void CompleteDetachedThunk(TxnCB* txn);
   void CompleteDetached();
 
+  /// Stage this commit's after-images into the WAL and compute the
+  /// durable-ack epoch (no-op without a Wal). Runs between the
+  /// commit-point CAS and the lock releases: the version images are still
+  /// live, and the ack epoch must be set before dependents see the
+  /// barrier lift.
+  void LogCommitRecords();
+
   RC SiloRead_(Row* row, const char** data);
   RC SiloUpdate_(Row* row, char** data);
   /// Read-then-write (or re-write) of a Silo row: move the existing
@@ -218,6 +226,7 @@ class TxnHandle {
   RowSet seen_rows_;
   bool use_row_set_ = false;
   std::vector<BatchKey> batch_;  ///< sort scratch for the multi-key APIs
+  std::vector<Wal::WriteRef> wal_writes_;  ///< commit-logging scratch
   std::vector<SiloRead> silo_reads_;
   std::vector<SiloWrite> silo_writes_;
 

@@ -1,0 +1,378 @@
+#include "src/db/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/failpoint.h"
+#include "src/db/database.h"
+
+namespace bamboo {
+
+namespace walfmt {
+
+namespace {
+
+/// Fixed header layout (see wal.h): crc(4) size(4) epoch(8) cts(8)
+/// table(4) img_size(4) key(8), image follows.
+constexpr size_t kPrefixBytes = 8;   // crc + size
+constexpr size_t kBodyFixed = 32;    // epoch..key
+constexpr size_t kHeaderBytes = kPrefixBytes + kBodyFixed;
+
+const uint32_t* CrcTable() {
+  static uint32_t table[256];
+  static bool init = [] {
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; k++) {
+        c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;  // CRC-32C poly
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+
+void PutU32(std::vector<char>* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->insert(out->end(), b, b + 4);
+}
+
+void PutU64(std::vector<char>* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->insert(out->end(), b, b + 8);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  const uint32_t* table = CrcTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < n; i++) c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+void Append(std::vector<char>* out, const Record& r) {
+  size_t start = out->size();
+  PutU32(out, 0);  // crc placeholder
+  PutU32(out, static_cast<uint32_t>(kBodyFixed + r.image_size));
+  PutU64(out, r.epoch);
+  PutU64(out, r.cts);
+  PutU32(out, r.table_id);
+  PutU32(out, r.image_size);
+  PutU64(out, r.key);
+  if (r.image_size > 0) {
+    out->insert(out->end(), r.image, r.image + r.image_size);
+  }
+  // CRC covers everything after the crc field, size included.
+  uint32_t crc = Crc32(out->data() + start + 4, out->size() - start - 4);
+  std::memcpy(out->data() + start, &crc, 4);
+}
+
+int64_t Decode(const char* buf, size_t n, size_t off, Record* out) {
+  if (n - off < kPrefixBytes) return 0;  // torn: prefix incomplete
+  uint32_t crc = GetU32(buf + off);
+  uint32_t size = GetU32(buf + off + 4);
+  if (size < kBodyFixed) return -1;            // no valid record is shorter
+  if (n - off - kPrefixBytes < size) return 0; // torn: body incomplete
+  if (Crc32(buf + off + 4, 4 + size) != crc) return -1;
+  const char* body = buf + off + kPrefixBytes;
+  out->epoch = GetU64(body);
+  out->cts = GetU64(body + 8);
+  out->table_id = GetU32(body + 16);
+  out->image_size = GetU32(body + 20);
+  out->key = GetU64(body + 24);
+  if (kBodyFixed + out->image_size != size) return -1;  // defensive
+  out->image = out->image_size > 0 ? body + kBodyFixed : nullptr;
+  return static_cast<int64_t>(kPrefixBytes + size);
+}
+
+}  // namespace walfmt
+
+namespace {
+
+std::atomic<uint64_t> g_wal_ids{1};
+
+struct BufferCache {
+  uint64_t wal_id = 0;
+  void* buf = nullptr;
+};
+thread_local BufferCache t_wal_buf;
+
+}  // namespace
+
+Wal::Wal(const Config& cfg)
+    : epoch_us_(cfg.log_epoch_us > 0 ? cfg.log_epoch_us : 10000.0),
+      fsync_(cfg.log_fsync),
+      wal_id_(g_wal_ids.fetch_add(1, std::memory_order_relaxed)) {
+  std::string path = LogPath(cfg.log_dir);
+  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0) {
+    std::fprintf(stderr, "wal: cannot open %s; logging disabled\n",
+                 path.c_str());
+    failed_.store(true, std::memory_order_release);
+    return;
+  }
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+Wal::~Wal() {
+  if (writer_.joinable()) {
+    stop_.store(true, std::memory_order_release);
+    writer_.join();
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Wal::Buffer* Wal::LocalBuffer() {
+  if (t_wal_buf.wal_id == wal_id_) {
+    return static_cast<Buffer*>(t_wal_buf.buf);
+  }
+  auto buf = std::make_unique<Buffer>();
+  Buffer* raw = buf.get();
+  reg_latch_.Lock(nullptr, nullptr);
+  buffers_.push_back(std::move(buf));
+  reg_latch_.Unlock();
+  t_wal_buf.wal_id = wal_id_;
+  t_wal_buf.buf = raw;
+  return raw;
+}
+
+uint64_t Wal::LogCommit(uint64_t cts, const WriteRef* writes, int n) {
+  Buffer* b = LocalBuffer();
+  b->latch.Lock(nullptr, nullptr);
+  // The epoch must be read while the latch is held: the writer advances
+  // the epoch *before* draining, so any append that lands in a drained
+  // batch carries an epoch the following marker covers.
+  uint64_t e = epoch_.load(std::memory_order_acquire);
+  size_t before = b->data.size();
+  for (int i = 0; i < n; i++) {
+    walfmt::Record r;
+    r.epoch = e;
+    r.cts = cts;
+    r.table_id = writes[i].table_id;
+    r.key = writes[i].key;
+    r.image = writes[i].image;
+    r.image_size = writes[i].size;
+    walfmt::Append(&b->data, r);
+  }
+  size_t added = b->data.size() - before;
+  b->latch.Unlock();
+  bytes_logged_.fetch_add(added, std::memory_order_relaxed);
+  return e;
+}
+
+bool Wal::WriteAll(const char* p, size_t n) {
+  while (n > 0) {
+    size_t chunk = n;
+    if (Failpoints::Eval("wal_short_write")) chunk = 1;
+    ssize_t w = ::write(fd_, p, chunk);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+void Wal::WriterLoop() {
+  std::vector<char> batch;
+  for (;;) {
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    // Advance the epoch first, then drain: a producer that appends after
+    // the drain of its buffer synchronizes on the buffer latch and
+    // therefore reads the advanced epoch -- the drained batch is complete
+    // for every epoch up to and including `e`.
+    uint64_t e = epoch_.load(std::memory_order_relaxed);
+    epoch_.store(e + 1, std::memory_order_seq_cst);
+
+    batch.clear();
+    reg_latch_.Lock(nullptr, nullptr);
+    for (auto& b : buffers_) {
+      b->latch.Lock(nullptr, nullptr);
+      if (!b->data.empty()) {
+        // A producer that read the epoch just before the advance may have
+        // appended e+1-stamped records already; they belong to the *next*
+        // batch (this cycle's marker must not vouch for an epoch other
+        // producers are still writing). Per-buffer epochs are
+        // nondecreasing, so the batch boundary is a prefix cut before the
+        // first record stamped past `e`.
+        size_t cut = 0;
+        const char* p = b->data.data();
+        const size_t n = b->data.size();
+        while (cut < n) {
+          uint32_t size;
+          uint64_t rec_epoch;
+          std::memcpy(&size, p + cut + 4, 4);
+          std::memcpy(&rec_epoch, p + cut + 8, 8);
+          if (rec_epoch > e) break;
+          cut += 8 + size;
+        }
+        if (cut > 0) {
+          batch.insert(batch.end(), b->data.begin(),
+                       b->data.begin() + static_cast<long>(cut));
+          b->data.erase(b->data.begin(),
+                        b->data.begin() + static_cast<long>(cut));
+        }
+      }
+      b->latch.Unlock();
+    }
+    reg_latch_.Unlock();
+
+    if (!batch.empty() && !failed_.load(std::memory_order_relaxed)) {
+      if (Failpoints::Eval("wal_crash_mid_write")) {
+        // Leave a torn tail: half the batch, no marker, then die.
+        WriteAll(batch.data(), batch.size() / 2);
+        Failpoints::Crash();
+      }
+      walfmt::Record marker;
+      marker.epoch = e;
+      marker.table_id = walfmt::kMarkerTableId;
+      marker.key = e;
+      std::vector<char> mk;
+      walfmt::Append(&mk, marker);
+      bool ok = WriteAll(batch.data(), batch.size()) &&
+                WriteAll(mk.data(), mk.size());
+      if (ok && fsync_) {
+        if (Failpoints::Eval("wal_fsync_error") || ::fsync(fd_) != 0) {
+          ok = false;
+        } else {
+          fsyncs_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (!ok) {
+        // Failed-sticky: durability stops advancing, so no commit past
+        // this point is ever acknowledged (waiters are unblocked to see
+        // the failure rather than hang).
+        failed_.store(true, std::memory_order_release);
+        durable_epoch_.notify_all();
+      } else {
+        // Advance the watermark only when a marker hit disk: empty epochs
+        // are vacuously durable (no commit gates on them), and skipping
+        // them keeps the published watermark exactly equal to what
+        // recovery can prove from the last surviving marker.
+        durable_epoch_.store(e, std::memory_order_release);
+        durable_epoch_.notify_all();
+        if (Failpoints::Eval("wal_crash_after_durable")) Failpoints::Crash();
+      }
+    }
+
+    if (stopping) break;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+        epoch_us_));
+  }
+}
+
+void Wal::WaitDurable(uint64_t epoch) {
+  for (;;) {
+    uint64_t d = durable_epoch_.load(std::memory_order_acquire);
+    if (d >= epoch || failed_.load(std::memory_order_acquire)) return;
+    durable_epoch_.wait(d, std::memory_order_acquire);
+  }
+}
+
+void Wal::FillStats(ThreadStats* s) const {
+  s->log_bytes += bytes_logged_.load(std::memory_order_relaxed);
+  s->log_fsyncs += fsyncs_.load(std::memory_order_relaxed);
+}
+
+RecoveryResult Database::Recover(const std::string& log_dir) {
+  RecoveryResult res;
+  std::string path = Wal::LogPath(log_dir);
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return res;  // no log: nothing to recover
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size == 0) {
+    ::close(fd);
+    return res;
+  }
+  std::vector<char> buf(static_cast<size_t>(st.st_size));
+  size_t got = 0;
+  while (got < buf.size()) {
+    ssize_t r = ::read(fd, buf.data() + got, buf.size() - got);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      break;
+    }
+    got += static_cast<size_t>(r);
+  }
+  ::close(fd);
+
+  // Pass 1: scan forward, stopping at the first torn or checksum-failed
+  // record -- everything past it is an untrusted tail. The highest marker
+  // seen before the stop is the last fully-durable epoch.
+  std::vector<walfmt::Record> records;
+  size_t off = 0;
+  uint64_t last_marker = 0;
+  while (off < got) {
+    walfmt::Record rec;
+    int64_t used = walfmt::Decode(buf.data(), got, off, &rec);
+    if (used <= 0) {
+      res.tail_torn = true;
+      break;
+    }
+    off += static_cast<size_t>(used);
+    if (rec.IsMarker()) {
+      if (rec.epoch > last_marker) last_marker = rec.epoch;
+    } else {
+      records.push_back(rec);
+    }
+  }
+  res.truncated_bytes = got - off;
+  res.durable_epoch = last_marker;
+
+  // Pass 2: replay the prefix-closed set -- exactly the records of epochs
+  // the marker vouches for. Within an epoch, records of the same row are
+  // ordered by commit timestamp (the CTS guard makes replay idempotent
+  // and order-insensitive inside the epoch).
+  for (const walfmt::Record& rec : records) {
+    if (rec.epoch > last_marker) {
+      res.records_skipped++;
+      continue;
+    }
+    if (rec.cts > res.max_cts) res.max_cts = rec.cts;
+    HashIndex* index = RecoveryIndex(rec.table_id);
+    Row* row = index != nullptr ? index->Get(rec.key) : nullptr;
+    if (row == nullptr || rec.image_size != row->size()) {
+      res.records_skipped++;
+      continue;
+    }
+    if (rec.cts > row->base_cts()) {
+      row->RecoverInstall(rec.image, rec.cts);
+      res.records_applied++;
+    } else {
+      res.records_skipped++;
+    }
+  }
+
+  // Resume the commit-timestamp authority above everything replayed, so
+  // post-recovery commits can never collide with pre-crash stamps.
+  cc_.RecoverCts(res.max_cts);
+  return res;
+}
+
+}  // namespace bamboo

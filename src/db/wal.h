@@ -1,0 +1,165 @@
+#ifndef BAMBOO_SRC_DB_WAL_H_
+#define BAMBOO_SRC_DB_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/platform.h"
+#include "src/common/stats.h"
+
+namespace bamboo {
+
+/// On-disk log format, exposed so tests can exercise the codec directly.
+///
+/// A record is length-prefixed and checksummed:
+///
+///   u32 crc      CRC-32C over every byte after this field
+///   u32 size     total record bytes counted from the epoch field
+///   u64 epoch    group-commit epoch the record belongs to
+///   u64 cts      writer's commit timestamp (orders same-row records
+///                within an epoch on replay)
+///   u32 table    table id, or kMarkerTableId for an epoch-commit marker
+///   u32 img_size after-image length (0 for markers)
+///   u64 key      primary key (marker: repeats the epoch, as a cross-check)
+///   u8  image[img_size]
+///
+/// The writer emits all records of epoch E, then one marker for E, then
+/// fsyncs; recovery trusts exactly the epochs whose marker survived.
+namespace walfmt {
+
+constexpr uint32_t kMarkerTableId = 0xffffffffu;
+
+struct Record {
+  uint64_t epoch = 0;
+  uint64_t cts = 0;
+  uint32_t table_id = 0;
+  uint64_t key = 0;
+  const char* image = nullptr;
+  uint32_t image_size = 0;
+
+  bool IsMarker() const { return table_id == kMarkerTableId; }
+};
+
+/// CRC-32C (Castagnoli), table-driven software implementation.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// Serialize `r` onto `out`.
+void Append(std::vector<char>* out, const Record& r);
+
+/// Decode the record starting at `buf + off` (buffer holds `n` bytes).
+/// Returns the bytes consumed; 0 when the tail is too short to hold the
+/// record it announces (torn write); -1 when the checksum rejects it.
+/// `out->image` points into `buf`.
+int64_t Decode(const char* buf, size_t n, size_t off, Record* out);
+
+}  // namespace walfmt
+
+/// What Database::Recover found and did.
+struct RecoveryResult {
+  uint64_t durable_epoch = 0;    ///< last epoch with a surviving marker
+  uint64_t records_applied = 0;  ///< after-images installed into rows
+  uint64_t records_skipped = 0;  ///< beyond the durable epoch, stale cts,
+                                 ///< or unresolvable (table,key)
+  uint64_t max_cts = 0;          ///< highest replayed commit timestamp
+  uint64_t truncated_bytes = 0;  ///< torn/garbage tail bytes refused
+  bool tail_torn = false;        ///< the scan stopped before end-of-file
+};
+
+/// Write-ahead log with Silo-style epoch group commit.
+///
+/// Committing threads append their after-images to a per-thread buffer,
+/// stamped with the current epoch (read under the buffer latch, which
+/// makes the epoch/drain handshake race-free). A background writer thread
+/// advances the epoch every `log_epoch_us`, drains every buffer, writes
+/// the batch plus an epoch-commit marker, fsyncs, and only then advances
+/// `durable_epoch` -- the watermark a commit's acknowledgment gates on.
+/// Empty epochs are skipped entirely (no marker, no fsync, no watermark
+/// move): they are vacuously durable, and skipping them keeps the
+/// published watermark equal to what recovery can prove from the log.
+///
+/// Dependency-aware acknowledgment (the Bamboo twist): a transaction that
+/// consumed a retired writer's dirty state carries that writer's ack epoch
+/// in TxnCB::dep_log_epoch (propagated by the lock manager when the
+/// barrier drains), and its own durable-ack epoch is the max of its commit
+/// epoch and every dependency's -- early lock release never acknowledges a
+/// commit whose inputs could still vanish in a crash.
+class Wal {
+ public:
+  /// One after-image to log at commit.
+  struct WriteRef {
+    uint32_t table_id;
+    uint64_t key;
+    const char* image;
+    uint32_t size;
+  };
+
+  explicit Wal(const Config& cfg);
+  ~Wal();
+
+  /// False when the log file could not be opened (logging is then off).
+  bool ok() const { return fd_ >= 0; }
+  /// True after an unrecoverable write/fsync error: durability is frozen
+  /// and no further commit will ever be acknowledged.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// Append one commit's after-images, stamped with the current epoch.
+  /// Call between the commit-point CAS and the lock releases (the images
+  /// must still be live). Returns the epoch the records carry. n must be
+  /// > 0 (read-only commits have nothing to log and an ack epoch of 0).
+  uint64_t LogCommit(uint64_t cts, const WriteRef* writes, int n);
+
+  uint64_t durable_epoch() const {
+    return durable_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Block until `epoch` is durable (or the log failed). Test/tool helper;
+  /// the bench runner polls durable_epoch() instead.
+  void WaitDurable(uint64_t epoch);
+
+  /// Fold the writer-side counters (bytes written, fsyncs) into `s`.
+  void FillStats(ThreadStats* s) const;
+
+  static std::string LogPath(const std::string& dir) {
+    return dir + "/wal.log";
+  }
+
+ private:
+  /// Per-producer staging buffer. The latch orders appends against the
+  /// writer's drain; reading the epoch inside the latch is what guarantees
+  /// a drained epoch can never grow new records.
+  struct alignas(kCacheLineSize) Buffer {
+    SpinLatch latch;
+    std::vector<char> data;
+  };
+
+  Buffer* LocalBuffer();
+  void WriterLoop();
+  bool WriteAll(const char* p, size_t n);
+
+  const double epoch_us_;
+  const bool fsync_;
+  int fd_ = -1;
+  uint64_t wal_id_;  ///< process-unique, keys the thread-local buffer cache
+
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> durable_epoch_{0};
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> stop_{false};
+
+  SpinLatch reg_latch_;  ///< guards buffers_ registration vs. the drain
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+
+  std::atomic<uint64_t> bytes_logged_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+
+  std::thread writer_;
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_DB_WAL_H_

@@ -122,6 +122,24 @@ class Row {
 
   /// CTS of the committed base image (latch-guarded).
   uint64_t base_cts() const { return base_cts_; }
+
+  // --- WAL identity and recovery (src/db/wal.h). The (table, key) pair is
+  // stamped once by Database::LoadRow so commit logging can name the row
+  // without an index lookup; RecoverInstall is single-threaded (recovery
+  // runs before any worker starts).
+  void SetWalId(uint32_t table_id, uint64_t key) {
+    wal_table_id_ = table_id;
+    wal_key_ = key;
+  }
+  uint32_t wal_table_id() const { return wal_table_id_; }
+  uint64_t wal_key() const { return wal_key_; }
+
+  /// Install a replayed after-image as the committed base. The caller has
+  /// already checked `cts > base_cts()` (replay idempotence/ordering).
+  void RecoverInstall(const char* image, uint64_t cts) {
+    std::memcpy(base_.get(), image, size_);
+    base_cts_ = cts;
+  }
   /// Retained previous committed image, or nullptr when none was kept.
   const char* SnapData() const { return has_snap_ ? snap_data_.get() : nullptr; }
   /// CTS of the retained image (meaningful only when SnapData() != nullptr).
@@ -133,6 +151,8 @@ class Row {
 
  private:
   uint32_t size_;
+  uint32_t wal_table_id_ = 0;
+  uint64_t wal_key_ = 0;
   std::unique_ptr<char[]> base_;
   std::vector<Version> chain_;
   /// Recycled version images (latch-guarded, like the chain). Bounded by

@@ -50,9 +50,16 @@ class Table {
   const Schema& schema() const { return schema_; }
   uint64_t row_count() const { return rows_.size(); }
 
+  /// Catalog-assigned position, stable for the Database's lifetime; WAL
+  /// records name tables by this id (0 for tables created outside a
+  /// Catalog, which are never logged).
+  uint32_t id() const { return id_; }
+  void set_id(uint32_t id) { id_ = id; }
+
  private:
   std::string name_;
   Schema schema_;
+  uint32_t id_ = 0;
   std::deque<Row> rows_;
 };
 

@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "src/common/platform.h"
 #include "src/db/database.h"
+#include "src/db/wal.h"
 
 namespace bamboo {
 
@@ -65,6 +67,7 @@ void WorkerLoop(Database* db, Workload* workload, SharedState* shared,
   Rng rng(0xb4c0ull * 2654435761u + static_cast<uint64_t>(thread_id) + 1);
   const bool detach = UseDetachedCommits(db->config());
   const size_t max_slots = detach ? DetachSlotCap() : 1;
+  Wal* wal = db->wal();
 
   struct Retry {
     uint64_t seed;
@@ -76,6 +79,39 @@ void WorkerLoop(Database* db, Workload* workload, SharedState* shared,
   std::vector<std::unique_ptr<TxnSlot>>& slots = ctx->slots;
   std::vector<TxnSlot*> free_slots;
   std::vector<Retry> retries;
+  bool measuring_seen = false;
+
+  // Durable acknowledgment (logging only): a committed transaction is not
+  // counted until the group-commit watermark covers its ack epoch. The
+  // worker never blocks on the log -- it queues the ack and keeps going;
+  // `measured` pins the commit to the window it committed in, so late
+  // durability notifications neither inflate nor lose window commits.
+  struct PendingAck {
+    uint64_t epoch;
+    bool had_deps;
+    bool measured;
+  };
+  std::deque<PendingAck> acks;
+  auto push_ack = [&](TxnCB& cb) {
+    PendingAck p{cb.log_ack_epoch, cb.deps_taken > 0, measuring_seen};
+    if (p.measured && p.had_deps && wal->durable_epoch() < p.epoch) {
+      stats.commits_awaiting_dep++;
+    }
+    acks.push_back(p);
+  };
+  auto drain_acks = [&] {
+    if (acks.empty()) return;
+    uint64_t d = wal->durable_epoch();
+    bool failed = wal->failed();
+    while (!acks.empty() && (acks.front().epoch <= d || failed)) {
+      const PendingAck& p = acks.front();
+      if (p.measured && p.epoch <= d) {
+        stats.commits++;
+        stats.durable_lag_epochs += d - p.epoch;
+      }
+      acks.pop_front();  // a failed log never acknowledges: drop, uncounted
+    }
+  };
 
   // Collect finished detached commits: count the outcome, requeue seed+ts
   // on a cascade abort, return the slot to the pool. `counted` is false in
@@ -86,7 +122,13 @@ void WorkerLoop(Database* db, Workload* workload, SharedState* shared,
     for (auto& s : slots) {
       uint32_t st = s->cb.detach_state.load(std::memory_order_acquire);
       if (st == 2u) {
-        if (counted) stats.commits++;
+        if (counted) {
+          if (wal != nullptr) {
+            push_ack(s->cb);
+          } else {
+            stats.commits++;
+          }
+        }
       } else if (st == 3u || st == 4u) {  // 4 = abort that wounded dependents
         if (counted) {
           stats.aborts++;
@@ -105,13 +147,13 @@ void WorkerLoop(Database* db, Workload* workload, SharedState* shared,
     }
   };
 
-  bool measuring_seen = false;
   while (!shared->stop.load(std::memory_order_acquire)) {
     if (!measuring_seen && shared->measuring.load(std::memory_order_acquire)) {
       stats.Reset();  // warmup ends: drop everything counted so far
       measuring_seen = true;
     }
     reclaim(/*counted=*/true);
+    if (wal != nullptr) drain_acks();
 
     TxnSlot* slot = nullptr;
     if (!free_slots.empty()) {
@@ -162,7 +204,11 @@ void WorkerLoop(Database* db, Workload* workload, SharedState* shared,
       Rng txn_rng(txn_seed);
       RC rc = workload->RunTxn(&slot->handle, &txn_rng);
       if (rc == RC::kOk) {
-        stats.commits++;
+        if (wal != nullptr) {
+          push_ack(slot->cb);
+        } else {
+          stats.commits++;
+        }
         free_slots.push_back(slot);
         break;
       }
@@ -198,6 +244,19 @@ void WorkerLoop(Database* db, Workload* workload, SharedState* shared,
     reclaim(/*counted=*/false);
     if (free_slots.size() == slots.size()) break;
     wake_word.wait(w, std::memory_order_acquire);
+  }
+
+  // Settle the pending durable acks: these transactions committed inside
+  // the window, only their group-commit notification is late. The log
+  // writer keeps ticking, so this converges within an epoch or two; a
+  // failed log drains the queue unacknowledged instead of hanging.
+  if (wal != nullptr) {
+    while (!acks.empty()) {
+      wal->WaitDurable(acks.front().epoch);
+      size_t before = acks.size();
+      drain_acks();
+      if (acks.size() == before) break;  // defensive: no progress
+    }
   }
 }
 
@@ -235,6 +294,7 @@ RunResult LoadAndRun(const Config& cfg, Workload* workload) {
 
   RunResult result;
   for (const auto& c : ctxs) result.total.Add(c->stats);
+  if (Wal* wal = db.wal()) wal->FillStats(&result.total);
   result.elapsed_seconds = static_cast<double>(t_end - t_start) / 1e9;
   return result;
 }

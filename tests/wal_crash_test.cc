@@ -1,0 +1,247 @@
+// Crash-recovery harness, driven by scripts/run_crash_test.sh.
+//
+//   wal_crash_test child <dir>   Bamboo + WAL, 4 workers hammering 4 hot
+//                                counter rows with dirty-read dependencies.
+//                                Commits are acknowledged durable only once
+//                                the group-commit watermark covers their ack
+//                                epoch; acknowledged counts are published to
+//                                <dir>/ack.txt via atomic rename. The driver
+//                                arms a BB_FAILPOINT that SIGKILLs the
+//                                process mid-run (exit 137 is the expected
+//                                outcome; a clean exit 2 means the failpoint
+//                                never fired).
+//   wal_crash_test check <dir>   Fresh Database, replay the log, then assert
+//                                prefix consistency: every acknowledged-
+//                                durable increment is present (recovered
+//                                counter >= acked count per row) and the
+//                                recovered watermark is at least the last
+//                                published one.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/db/txn_handle.h"
+#include "src/db/wal.h"
+
+namespace {
+
+using namespace bamboo;
+
+constexpr int kRows = 4;
+constexpr int kWorkers = 4;
+
+std::atomic<bool> g_stop{false};
+std::atomic<uint64_t> g_acked[kRows];
+
+void Bump(char* d, void*) {
+  uint64_t v;
+  std::memcpy(&v, d, 8);
+  v++;
+  std::memcpy(d, &v, 8);
+}
+
+uint64_t RowValue(const Row* row) {
+  uint64_t v;
+  std::memcpy(&v, row->base(), 8);
+  return v;
+}
+
+struct Fixture {
+  Table* tbl;
+  HashIndex* idx;
+  Row* rows[kRows];
+};
+
+Fixture LoadHotRows(Database* db) {
+  Schema s;
+  s.AddColumn("val", 8);
+  Fixture f;
+  f.tbl = db->catalog()->CreateTable("hot", s);
+  f.idx = db->catalog()->CreateIndex("hot_pk", 16);
+  for (uint64_t k = 0; k < kRows; k++) f.rows[k] = db->LoadRow(f.tbl, f.idx, k);
+  return f;
+}
+
+void Worker(Database* db, HashIndex* idx, int id) {
+  TxnCB cb;
+  TxnHandle h(db, &cb);
+  Wal* wal = db->wal();
+  std::mt19937_64 rng(0x9e3779b9u + static_cast<uint64_t>(id));
+  struct Pending {
+    uint64_t epoch;
+    uint64_t key;
+  };
+  std::vector<Pending> pending;
+  bool retry = false;
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    cb.txn_seq.fetch_add(1, std::memory_order_relaxed);
+    cb.ResetForAttempt(retry);
+    db->cc()->Begin(&cb);
+    uint64_t key = rng() % kRows;
+    // Dirty-read a neighbor first so retired-chain dependencies (and the
+    // dependency-gated ack epochs) are actually exercised.
+    const char* d = nullptr;
+    RC rc = h.Read(idx, (key + 1) % kRows, &d);
+    if (rc == RC::kOk) rc = h.UpdateRmw(idx, key, Bump, nullptr);
+    RC crc = h.Commit(RC::kOk);
+    retry = crc != RC::kOk;
+    if (crc == RC::kOk) pending.push_back({cb.log_ack_epoch, key});
+    // Acknowledge everything the watermark now covers. Durability is
+    // monotone, so a count published to ack.txt can never outrun the log.
+    uint64_t durable = wal->durable_epoch();
+    size_t i = 0;
+    while (i < pending.size() && pending[i].epoch <= durable) {
+      g_acked[pending[i].key].fetch_add(1, std::memory_order_relaxed);
+      i++;
+    }
+    if (i > 0) pending.erase(pending.begin(), pending.begin() + i);
+  }
+}
+
+/// Publish acked counts + watermark with an atomic rename so the file the
+/// checker reads is always internally consistent, even across SIGKILL.
+void Flusher(Database* db, const std::string& dir) {
+  std::string tmp = dir + "/ack.txt.tmp";
+  std::string final_path = dir + "/ack.txt";
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    uint64_t durable = db->wal()->durable_epoch();
+    uint64_t counts[kRows];
+    for (int k = 0; k < kRows; k++) {
+      counts[k] = g_acked[k].load(std::memory_order_relaxed);
+    }
+    FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%llu\n", static_cast<unsigned long long>(durable));
+      for (int k = 0; k < kRows; k++) {
+        std::fprintf(f, "%d %llu\n", k,
+                     static_cast<unsigned long long>(counts[k]));
+      }
+      std::fclose(f);
+      std::rename(tmp.c_str(), final_path.c_str());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+int RunChild(const std::string& dir) {
+  Config cfg;
+  cfg.protocol = Protocol::kBamboo;
+  cfg.log_enabled = true;
+  cfg.log_dir = dir;
+  cfg.log_epoch_us = 300;
+  cfg.bb_opt_raw_read = false;  // force true dirty reads -> dependencies
+  Database db(cfg);
+  if (db.wal() == nullptr) {
+    std::fprintf(stderr, "child: WAL failed to open in %s\n", dir.c_str());
+    return 3;
+  }
+  Fixture f = LoadHotRows(&db);
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kWorkers; i++) {
+    threads.emplace_back(Worker, &db, f.idx, i);
+  }
+  std::thread flusher(Flusher, &db, dir);
+
+  // The armed failpoint SIGKILLs us long before this deadline; reaching it
+  // means the driver misconfigured the failpoint.
+  std::this_thread::sleep_for(std::chrono::seconds(20));
+  g_stop.store(true);
+  for (auto& t : threads) t.join();
+  flusher.join();
+  std::fprintf(stderr, "child: failpoint never fired\n");
+  return 2;
+}
+
+int RunCheck(const std::string& dir) {
+  uint64_t file_durable = 0;
+  uint64_t acked[kRows] = {0, 0, 0, 0};
+  bool have_acks = false;
+  if (FILE* f = std::fopen((dir + "/ack.txt").c_str(), "r")) {
+    unsigned long long v = 0;
+    if (std::fscanf(f, "%llu", &v) == 1) {
+      file_durable = v;
+      have_acks = true;
+      int k;
+      while (std::fscanf(f, "%d %llu", &k, &v) == 2) {
+        if (k >= 0 && k < kRows) acked[k] = v;
+      }
+    }
+    std::fclose(f);
+  }
+
+  Config cfg;
+  cfg.protocol = Protocol::kBamboo;  // logging off: replay, don't truncate
+  Database db(cfg);
+  Fixture f = LoadHotRows(&db);
+  RecoveryResult res = db.Recover(dir);
+
+  uint64_t total = 0;
+  int failures = 0;
+  for (int k = 0; k < kRows; k++) {
+    uint64_t got = RowValue(f.rows[k]);
+    total += got;
+    if (got < acked[k]) {
+      std::fprintf(stderr,
+                   "check: row %d lost acknowledged commits: recovered %llu "
+                   "< acked %llu\n",
+                   k, static_cast<unsigned long long>(got),
+                   static_cast<unsigned long long>(acked[k]));
+      failures++;
+    }
+  }
+  if (res.durable_epoch < file_durable) {
+    std::fprintf(stderr,
+                 "check: recovered watermark %llu behind published %llu\n",
+                 static_cast<unsigned long long>(res.durable_epoch),
+                 static_cast<unsigned long long>(file_durable));
+    failures++;
+  }
+  // Each counter's recovered value equals the number of durable commits to
+  // that row (the highest-CTS image subsumes superseded same-epoch
+  // records), so the sum is bounded by applied and applied+skipped.
+  if (total < res.records_applied ||
+      total > res.records_applied + res.records_skipped) {
+    std::fprintf(stderr,
+                 "check: counters sum %llu outside [applied=%llu, "
+                 "applied+skipped=%llu]\n",
+                 static_cast<unsigned long long>(total),
+                 static_cast<unsigned long long>(res.records_applied),
+                 static_cast<unsigned long long>(
+                     res.records_applied + res.records_skipped));
+    failures++;
+  }
+  std::printf(
+      "check: durable_epoch=%llu applied=%llu skipped=%llu torn=%d "
+      "truncated=%llu acks=%s -> %s\n",
+      static_cast<unsigned long long>(res.durable_epoch),
+      static_cast<unsigned long long>(res.records_applied),
+      static_cast<unsigned long long>(res.records_skipped),
+      res.tail_torn ? 1 : 0,
+      static_cast<unsigned long long>(res.truncated_bytes),
+      have_acks ? "yes" : "none", failures == 0 ? "OK" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s {child|check} <dir>\n", argv[0]);
+    return 64;
+  }
+  std::string mode = argv[1];
+  std::string dir = argv[2];
+  if (mode == "child") return RunChild(dir);
+  if (mode == "check") return RunCheck(dir);
+  std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+  return 64;
+}

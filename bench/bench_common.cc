@@ -46,6 +46,7 @@ Options FromEnv() {
   if (o.duration <= 0) o.duration = 0.4;  // a 0s window measures nothing
   o.warmup = EnvDouble("BB_BENCH_WARMUP", 0.08);
   o.full = EnvFlag("BB_BENCH_FULL");
+  o.threads = static_cast<int>(EnvU64("BB_BENCH_THREADS", 0));
   o.ycsb_rows = EnvU64("BB_YCSB_ROWS", 100000);
   o.tpcc_customers =
       static_cast<int>(EnvU64("BB_TPCC_CUST", o.full ? 3000 : 300));

@@ -17,6 +17,8 @@ namespace bench {
 ///   BB_BENCH_WARMUP     warmup seconds per data point     (default 0.08)
 ///   BB_BENCH_FULL=1     paper-scale sweeps: thread counts up to 120,
 ///                       100k-row TPC-C item table, 3000 customers/district
+///   BB_BENCH_THREADS    override the fixed thread count used by single-
+///                       point benches (default: bench-specific, usually 8)
 ///   BB_YCSB_ROWS        YCSB table size                   (default 100000)
 ///   BB_TPCC_CUST        TPC-C customers per district      (default 300;
 ///                       full mode: 3000)
@@ -32,6 +34,7 @@ struct Options {
   double duration = 0.4;
   double warmup = 0.08;
   bool full = false;
+  int threads = 0;  ///< BB_BENCH_THREADS override; 0 = bench default
   uint64_t ycsb_rows = 100000;
   int tpcc_customers = 300;
   std::string log_dir;  ///< empty = logging off

@@ -14,7 +14,7 @@ void RunMode(const Options& opt, ExecMode mode, const char* mode_name) {
       std::string("Multi-key batch API, single hotspot at start, ") +
           mode_name,
       {"ops/txn", "access", "BAMBOO(txn/s)", "WOUND_WAIT(txn/s)",
-       "NO_WAIT(txn/s)", "BAMBOO_speedup"});
+       "NO_WAIT(txn/s)", "BAMBOO_speedup", "BAMBOO_keys/run"});
   const Protocol protocols[] = {Protocol::kBamboo, Protocol::kWoundWait,
                                 Protocol::kNoWait};
   for (int ops : {16, 64}) {
@@ -23,6 +23,7 @@ void RunMode(const Options& opt, ExecMode mode, const char* mode_name) {
       std::vector<std::string> cells = {Fmt(ops, 0),
                                         batched ? "batched" : "per-key"};
       double bamboo_tput = 0;
+      double bamboo_keys_per_run = 0;
       for (Protocol p : protocols) {
         Config cfg = opt.BaseConfig();
         cfg.protocol = p;
@@ -33,7 +34,16 @@ void RunMode(const Options& opt, ExecMode mode, const char* mode_name) {
         cfg.synth_hotspot_pos[0] = 0.0;
         cfg.synth_batch_ops = batched;
         RunResult r = RunSynthetic(cfg);
-        if (p == Protocol::kBamboo) bamboo_tput = r.Throughput();
+        if (p == Protocol::kBamboo) {
+          bamboo_tput = r.Throughput();
+          // Per-shard run length of the batch path: how many sorted keys a
+          // single shard-latch hold submits (1.0 = fully scattered).
+          bamboo_keys_per_run =
+              r.total.batch_runs > 0
+                  ? static_cast<double>(r.total.batch_keys) /
+                        static_cast<double>(r.total.batch_runs)
+                  : 0;
+        }
         cells.push_back(FmtThroughput(r));
       }
       if (!batched) {
@@ -44,6 +54,8 @@ void RunMode(const Options& opt, ExecMode mode, const char* mode_name) {
                             ? Fmt(bamboo_tput / scalar_bamboo, 2)
                             : "-");
       }
+      cells.push_back(bamboo_keys_per_run > 0 ? Fmt(bamboo_keys_per_run, 2)
+                                              : "-");
       tbl.AddRow(cells);
     }
   }

@@ -6,6 +6,8 @@
 //   opt2: no retire for the tail delta of writes
 //   opt3: read-after-write served from the preceding version (no wound)
 //   opt4: dynamic timestamp assignment on first conflict
+#include <cstdlib>
+
 #include "bench/bench_common.h"
 
 namespace {
@@ -15,12 +17,61 @@ struct Variant {
   bool o1, o2, o3, o4;
 };
 
+/// Lock-table shard sweep on the same Zipfian mix (all optimizations on):
+/// the scaling the sharded latch domains buy, visible in latch_spins/waits
+/// per txn, and what the batch path's per-shard runs collapse to as the
+/// hash scatters keys over more shards. Row names are stable awk keys
+/// (BAMBOO_z09_<t>t_<s>s) for scripts/bench_snapshot.sh.
+void RunShardSweep(const bamboo::bench::Options& opt) {
+  using namespace bamboo;
+  using namespace bamboo::bench;
+  TablePrinter tbl(
+      "Lock-table shard sweep, Bamboo all-on, YCSB theta=0.9 rr=0.5",
+      {"config", "throughput(txn/s)", "abort_rate", "latch_spins/txn",
+       "latch_waits/txn", "keys/run", "mirror_pins/txn"});
+  const int threads = opt.threads > 0 ? opt.threads : 16;
+  for (int shards : {1, 4, 16, 64}) {
+    Config cfg = opt.BaseConfig();
+    cfg.protocol = Protocol::kBamboo;
+    cfg.num_threads = threads;
+    cfg.lock_shards = shards;
+    cfg.ycsb_zipf_theta = 0.9;
+    cfg.ycsb_read_ratio = 0.5;
+    RunResult r = RunYcsb(cfg);
+    auto per_txn = [&r](uint64_t n) {
+      return r.total.commits > 0 ? static_cast<double>(n) /
+                                       static_cast<double>(r.total.commits)
+                                 : 0.0;
+    };
+    tbl.AddRow({"BAMBOO_z09_" + std::to_string(threads) + "t_" +
+                    std::to_string(shards) + "s",
+                FmtThroughput(r), Fmt(r.AbortRate(), 3),
+                Fmt(per_txn(r.total.latch_spins), 2),
+                Fmt(per_txn(r.total.latch_waits), 2),
+                Fmt(r.total.batch_runs > 0
+                        ? static_cast<double>(r.total.batch_keys) /
+                              static_cast<double>(r.total.batch_runs)
+                        : 0.0,
+                    2),
+                Fmt(per_txn(r.total.cts_mirror_pins), 2)});
+  }
+  tbl.Print("one latch domain serializes every acquire at 16 threads; the "
+            "sweep shows where the contention actually stops falling");
+}
+
 }  // namespace
 
 int main() {
   using namespace bamboo;
   using namespace bamboo::bench;
   Options opt = FromEnv();
+
+  // BB_SHARD_SWEEP_ONLY=1: just the shard sweep (bench_snapshot.sh runs it
+  // as the Zipfian multi-shard YCSB point without paying for the ablation).
+  if (std::getenv("BB_SHARD_SWEEP_ONLY") != nullptr) {
+    RunShardSweep(opt);
+    return 0;
+  }
 
   const Variant variants[] = {
       {"all on", true, true, true, true},
@@ -44,7 +95,7 @@ int main() {
   for (const Variant& v : variants) {
     Config cfg = opt.BaseConfig();
     cfg.protocol = Protocol::kBamboo;
-    cfg.num_threads = opt.full ? 32 : 8;
+    cfg.num_threads = opt.threads > 0 ? opt.threads : (opt.full ? 32 : 8);
     cfg.ycsb_zipf_theta = 0.9;
     cfg.ycsb_read_ratio = 0.5;
     cfg.bb_opt_read_retire = v.o1;
@@ -72,5 +123,6 @@ int main() {
   tbl.Print("each optimization contributes; opt3 matters most on "
             "read-write mixes (RAW aborts), opt4 reduces first-conflict "
             "wounds");
+  RunShardSweep(opt);
   return 0;
 }

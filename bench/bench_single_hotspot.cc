@@ -20,7 +20,7 @@ void RunMode(const Options& opt, ExecMode mode, const char* mode_name) {
     Config cfg = opt.BaseConfig();
     cfg.protocol = p;
     cfg.mode = mode;
-    cfg.num_threads = opt.full ? 32 : 8;
+    cfg.num_threads = opt.threads > 0 ? opt.threads : (opt.full ? 32 : 8);
     cfg.synth_ops_per_txn = 16;
     cfg.synth_num_hotspots = 1;
     cfg.synth_hotspot_pos[0] = 0.0;
@@ -38,6 +38,33 @@ void RunMode(const Options& opt, ExecMode mode, const char* mode_name) {
                 : "BAMBOO up to ~7x best baseline (WOUND_WAIT) interactive");
 }
 
+// Lock-table shard scaling: Bamboo on the same hotspot at 8 and 24 threads
+// with the table collapsed to one shard vs. the sharded default. Row names
+// are stable awk keys (BAMBOO_<t>t_<s>s) for scripts/bench_snapshot.sh; at
+// 24 threads the single latch domain is the bottleneck the shards remove.
+void RunShardScaling(const Options& opt) {
+  TablePrinter tbl("Lock-table shard scaling, Bamboo stored-procedure",
+                   {"config", "throughput(txn/s)", "abort_rate"});
+  for (int threads : {8, 24}) {
+    for (int shards : {1, 16}) {
+      Config cfg = opt.BaseConfig();
+      cfg.protocol = Protocol::kBamboo;
+      cfg.mode = ExecMode::kStoredProcedure;
+      cfg.num_threads = threads;
+      cfg.lock_shards = shards;
+      cfg.synth_ops_per_txn = 16;
+      cfg.synth_num_hotspots = 1;
+      cfg.synth_hotspot_pos[0] = 0.0;
+      RunResult r = RunSynthetic(cfg);
+      tbl.AddRow({"BAMBOO_" + std::to_string(threads) + "t_" +
+                      std::to_string(shards) + "s",
+                  FmtThroughput(r), Fmt(r.AbortRate(), 3)});
+    }
+  }
+  tbl.Print("per-shard latch domains: >16-thread throughput should not "
+            "regress vs one shard");
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace bamboo
@@ -49,5 +76,6 @@ int main() {
   bamboo::bench::Options iopt = opt;
   iopt.duration = opt.duration * 2;  // interactive throughput is RTT-bound
   RunMode(iopt, bamboo::ExecMode::kInteractive, "interactive (50us RTT)");
+  RunShardScaling(opt);
   return 0;
 }

@@ -1,15 +1,17 @@
 #!/usr/bin/env sh
 # Emit a JSON snapshot of the headline throughput numbers so every PR can
 # extend the perf trajectory: single-hotspot (8 threads, all protocols'
-# headline BAMBOO row) and the lock-table microbenchmarks, including the
-# release-path primitives the grant-token API targets
-# (BM_RetiredDependencyChain) and the multi-key batch read (BM_MultiGet16).
+# headline BAMBOO row), the lock-table shard scaling (8/24 threads at 1 vs
+# 16 shards, plus a Zipfian multi-shard YCSB point), and the lock-table
+# microbenchmarks, including the release-path primitives the grant-token
+# API targets (BM_RetiredDependencyChain) and the multi-key batch read
+# (BM_MultiGet16).
 # Usage: scripts/bench_snapshot.sh [build-dir] [out.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr6.json}"
+OUT="${2:-BENCH_pr7.json}"
 
 if [ ! -x "$BUILD_DIR/bench_single_hotspot" ]; then
   cmake -B "$BUILD_DIR" -S .
@@ -27,6 +29,21 @@ to_num='{v=$2; u=substr(v,length(v),1); n=v+0;
          printf "%.0f", n; exit}'
 bamboo_tput=$(printf '%s\n' "$hot_out" | awk '$1=="BAMBOO"'" $to_num")
 ww_tput=$(printf '%s\n' "$hot_out" | awk '$1=="WOUND_WAIT"'" $to_num")
+
+# Shard-scaling rows from the same run (BAMBOO_<threads>t_<shards>s): the
+# >16-thread point is the one the sharded latch domains exist for.
+hot_8t_1s=$(printf '%s\n' "$hot_out" | awk '$1=="BAMBOO_8t_1s"'" $to_num")
+hot_8t_16s=$(printf '%s\n' "$hot_out" | awk '$1=="BAMBOO_8t_16s"'" $to_num")
+hot_24t_1s=$(printf '%s\n' "$hot_out" | awk '$1=="BAMBOO_24t_1s"'" $to_num")
+hot_24t_16s=$(printf '%s\n' "$hot_out" | awk '$1=="BAMBOO_24t_16s"'" $to_num")
+
+# Zipfian multi-shard YCSB (theta=0.9, rr=0.5, 16 threads): the shard
+# sweep's 1- and 16-shard rows, skewed enough that a few hot entries and
+# the latch domain both matter.
+ycsb_out=$(BB_BENCH_DURATION="$DUR" BB_BENCH_WARMUP="$WARM" \
+           BB_SHARD_SWEEP_ONLY=1 "$BUILD_DIR/bench_opt_ablation")
+ycsb_16t_1s=$(printf '%s\n' "$ycsb_out" | awk '$1=="BAMBOO_z09_16t_1s"'" $to_num")
+ycsb_16t_16s=$(printf '%s\n' "$ycsb_out" | awk '$1=="BAMBOO_z09_16t_16s"'" $to_num")
 
 # Same hotspot with the WAL on (group-commit epoch at its default 10ms):
 # the logging tax on the headline number, and the durability counters.
@@ -58,15 +75,28 @@ fi
 
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+cores=$(nproc 2>/dev/null || echo null)
 
 cat > "$OUT" <<EOF
 {
   "commit": "$commit",
   "date": "$stamp",
   "bench_duration_s": $DUR,
+  "host_cores": $cores,
   "single_hotspot_8t": {
     "bamboo_txn_per_s": ${bamboo_tput:-null},
     "wound_wait_txn_per_s": ${ww_tput:-null}
+  },
+  "hotspot_shard_scaling": {
+    "note": "shard counts > host_cores cannot show latch-domain parallelism; on a 1-core host the 16-shard column measures pure per-run overhead (see DESIGN.md)",
+    "bamboo_8t_1shard": ${hot_8t_1s:-null},
+    "bamboo_8t_16shards": ${hot_8t_16s:-null},
+    "bamboo_24t_1shard": ${hot_24t_1s:-null},
+    "bamboo_24t_16shards": ${hot_24t_16s:-null}
+  },
+  "ycsb_zipf09_16t_shards": {
+    "bamboo_1shard": ${ycsb_16t_1s:-null},
+    "bamboo_16shards": ${ycsb_16t_16s:-null}
   },
   "single_hotspot_8t_logged": {
     "bamboo_txn_per_s": ${bamboo_log_tput:-null},

@@ -1,6 +1,22 @@
 #include "src/common/config.h"
 
+#include <cstdlib>
+
 namespace bamboo {
+
+int DefaultLockShards() {
+  // Latched once: every Config construction funnels through here, and the
+  // knob must not change mid-process (LockManagers built from it coexist).
+  static const int cached = [] {
+    const char* v = std::getenv("BB_LOCK_SHARDS");
+    if (v == nullptr) return 1024;
+    char* end = nullptr;
+    long parsed = std::strtol(v, &end, 10);
+    if (end == v || parsed < 1) return 1024;
+    return parsed > 65536 ? 65536 : static_cast<int>(parsed);
+  }();
+  return cached;
+}
 
 const char* ProtocolName(Protocol p) {
   switch (p) {

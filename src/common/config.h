@@ -19,6 +19,12 @@ enum class Protocol {
 
 const char* ProtocolName(Protocol p);
 
+/// Default lock-table shard count: the BB_LOCK_SHARDS environment knob
+/// (latched once per process, like the failpoint env), else 1024. The CI
+/// matrix runs the tier-1 and TSan suites at 1 and 16 shards so the
+/// unsharded configuration stays a tested fallback.
+int DefaultLockShards();
+
 /// Execution mode: stored procedures run back-to-back; interactive mode
 /// inserts a simulated client round trip (RTT) before every statement, so
 /// locks are held across network delays (Section 5's second setting).
@@ -60,6 +66,15 @@ struct Config {
   double log_epoch_us = 10000.0;
   /// fsync per epoch (off trades crash safety for I/O-bound test speed).
   bool log_fsync = true;
+
+  /// Lock-table shards: the per-tuple queues are latched per *shard* (a
+  /// stable hash of the row's (table, key) identity), so latch traffic
+  /// scales with the shard count instead of serializing on hot cache
+  /// lines, and the batch APIs take one latch hold per same-shard run.
+  /// Rounded up to a power of two and clamped to [1, 65536] by the lock
+  /// manager. Default comes from BB_LOCK_SHARDS (else 1024); 1 degenerates
+  /// to a single latch domain (the pre-shard behavior, kept in CI).
+  int lock_shards = DefaultLockShards();
 
   // --- Bamboo ablation switches (Section 3.5). All default to the paper's
   // full configuration; bench_opt_ablation toggles them individually.

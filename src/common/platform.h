@@ -117,17 +117,36 @@ class SpinLatch {
     }
   }
 
+  /// Process-wide spin budget for the contended path, in backoff rounds
+  /// (0..kSpinRounds). Spinning bets that the holder is running on another
+  /// core and about to release; when workers outnumber cores that bet is
+  /// exactly wrong -- the spin burns the very timeslice the (preempted)
+  /// holder needs -- so the runner sets 0 for oversubscribed configs and
+  /// contended threads park immediately. Relaxed: a stale value is just a
+  /// slightly mistuned spin, never a correctness problem.
+  static void SetMaxSpinRounds(int rounds) {
+    if (rounds < 0) rounds = 0;
+    if (rounds > kSpinRounds) rounds = kSpinRounds;
+    spin_rounds_.store(rounds, std::memory_order_relaxed);
+  }
+  static int MaxSpinRounds() {
+    return spin_rounds_.load(std::memory_order_relaxed);
+  }
+
+  /// 2^8 - 1 = 255 pause instructions max before parking: a few hundred
+  /// nanoseconds, several multiples of a queue operation. The default (and
+  /// ceiling) for SetMaxSpinRounds.
+  static constexpr int kSpinRounds = 8;
+
  private:
   static constexpr uint32_t kFree = 0;
   static constexpr uint32_t kLocked = 1;
   static constexpr uint32_t kLockedWaiters = 2;
-  /// 2^8 - 1 = 255 pause instructions max before parking: a few hundred
-  /// nanoseconds, several multiples of a queue operation.
-  static constexpr int kSpinRounds = 8;
 
   void LockSlow(uint64_t* spins, uint64_t* waits) {
     uint64_t rounds = 0;
-    for (int round = 0; round < kSpinRounds; ++round) {
+    const int max_rounds = spin_rounds_.load(std::memory_order_relaxed);
+    for (int round = 0; round < max_rounds; ++round) {
       for (int i = 0; i < (1 << round); ++i) CpuRelax();
       ++rounds;
       uint32_t cur = word_.load(std::memory_order_relaxed);
@@ -145,6 +164,8 @@ class SpinLatch {
       word_.wait(kLockedWaiters, std::memory_order_acquire);
     }
   }
+
+  static inline std::atomic<int> spin_rounds_{kSpinRounds};
 
   std::atomic<uint32_t> word_{kFree};
 };

@@ -27,9 +27,16 @@ struct alignas(kCacheLineSize) ThreadStats {
 
   // --- lock-table hot-path instrumentation (see DESIGN.md "Memory layout
   // and latching"): entry-latch contention and request-pool spills.
-  uint64_t latch_spins = 0;   ///< backoff rounds spun on entry latches
-  uint64_t latch_waits = 0;   ///< futex parks on entry latches
+  uint64_t latch_spins = 0;   ///< backoff rounds spun on shard latches
+  uint64_t latch_waits = 0;   ///< futex parks on shard latches
   uint64_t pool_spills = 0;   ///< dependent lists that overflowed inline space
+
+  // --- sharded batch submission (LockManager::SubmitMany / ReleaseMany).
+  uint64_t batch_runs = 0;  ///< same-shard runs (one latch hold each)
+  uint64_t batch_keys = 0;  ///< keys submitted through the batch path
+  /// Opt-3 snapshot pins served from a shard's CTS mirror (no load of the
+  /// global published watermark); the rest fell back to the authority.
+  uint64_t cts_mirror_pins = 0;
 
   // --- durability (WAL epoch group commit). log_bytes/log_fsyncs come
   // from the log writer (folded in at run end); the other two are counted
@@ -57,6 +64,9 @@ struct alignas(kCacheLineSize) ThreadStats {
     latch_spins += o.latch_spins;
     latch_waits += o.latch_waits;
     pool_spills += o.pool_spills;
+    batch_runs += o.batch_runs;
+    batch_keys += o.batch_keys;
+    cts_mirror_pins += o.cts_mirror_pins;
     log_bytes += o.log_bytes;
     log_fsyncs += o.log_fsyncs;
     durable_lag_epochs += o.durable_lag_epochs;

@@ -99,9 +99,16 @@ class CCManager {
   /// CTS allocation counter and in-order publication watermark. Both
   /// seeded at 1 so a pinned snapshot (a load of cts_stamped_) is never 0,
   /// which TxnCB::raw_snapshot_cts reserves for "no snapshot pinned".
-  std::atomic<uint64_t> cts_alloc_{1};
-  std::atomic<uint64_t> cts_stamped_{1};
-  LockManager locks_;
+  /// Cache-line isolated from each other (and from ts_counter_/locks_):
+  /// every committer bumps cts_alloc_ while concurrent publishers spin on
+  /// and readers pin from cts_stamped_ -- on one line the allocation
+  /// fetch_add would invalidate every pinning reader's cached watermark.
+  /// The sharded lock table additionally keeps per-shard mirrors of the
+  /// published watermark (LockShard::cts_mirror) so most Opt-3 pins never
+  /// touch cts_stamped_'s line at all.
+  alignas(kCacheLineSize) std::atomic<uint64_t> cts_alloc_{1};
+  alignas(kCacheLineSize) std::atomic<uint64_t> cts_stamped_{1};
+  alignas(kCacheLineSize) LockManager locks_;
 };
 
 /// Facade tying config, catalog and concurrency control together. One

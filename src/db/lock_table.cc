@@ -1,5 +1,7 @@
 #include "src/db/lock_table.h"
 
+#include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
@@ -11,20 +13,33 @@ namespace bamboo {
 
 namespace {
 
-/// RAII latch hold wiring the spin/park counters into the caller's
-/// ThreadStats (nullptr for stat-less callers like the test helpers).
-class LatchGuard {
+/// RAII shard-latch hold wiring the spin/park counters into the caller's
+/// ThreadStats (nullptr for stat-less callers like the test helpers) *and*
+/// into the shard's own counters -- under the latch, so the shard copy
+/// needs no atomics. Both books are written from the same local counts of
+/// the same acquisition, which is what makes "sum of shard counters ==
+/// sum of worker ThreadStats" an exact invariant the tests can assert: a
+/// release charged to the wrong stats (or charged twice) breaks it.
+/// Stat-less holds (inspection helpers) update neither book.
+class ShardGuard {
  public:
-  LatchGuard(SpinLatch* latch, ThreadStats* stats) : latch_(latch) {
-    latch_->Lock(stats != nullptr ? &stats->latch_spins : nullptr,
-                 stats != nullptr ? &stats->latch_waits : nullptr);
+  ShardGuard(LockShard* sh, ThreadStats* stats) : sh_(sh) {
+    uint64_t spins = 0;
+    uint64_t waits = 0;
+    sh->latch.Lock(&spins, &waits);
+    if (stats != nullptr && (spins | waits) != 0) {
+      sh->latch_spins += spins;
+      sh->latch_waits += waits;
+      stats->latch_spins += spins;
+      stats->latch_waits += waits;
+    }
   }
-  ~LatchGuard() { latch_->Unlock(); }
-  LatchGuard(const LatchGuard&) = delete;
-  LatchGuard& operator=(const LatchGuard&) = delete;
+  ~ShardGuard() { sh_->latch.Unlock(); }
+  ShardGuard(const ShardGuard&) = delete;
+  ShardGuard& operator=(const ShardGuard&) = delete;
 
  private:
-  SpinLatch* latch_;
+  LockShard* sh_;
 };
 
 /// Per-thread recycling pool for dependent spill pages. Pages migrate
@@ -182,6 +197,9 @@ LockReq* FindReqForInspection(ReqList* list, const TxnCB* txn, uint64_t seq) {
 // Detached-commit completions claimed while a latch was held; processed by
 // the outermost public entry point once no latch is held (completions
 // release other rows, which may claim further completions -> iterate).
+#ifdef BAMBOO_DEBUG_STUCK
+thread_local char t_dep_site = '?';
+#endif
 thread_local std::vector<TxnCB*> t_pending_completions;
 thread_local bool t_draining = false;
 
@@ -258,6 +276,54 @@ void ReqPool::Free(LockReq* r) {
 
 // --- LockManager -----------------------------------------------------------
 
+LockManager::LockManager(const Config& cfg, std::atomic<uint64_t>* ts_counter,
+                         std::atomic<uint64_t>* cts_counter)
+    : cfg_(cfg), ts_counter_(ts_counter), cts_counter_(cts_counter) {
+  int want = cfg.lock_shards;
+  if (want < 1) want = 1;
+  if (want > 65536) want = 65536;
+  uint32_t count = 1;
+  while (count < static_cast<uint32_t>(want)) count <<= 1;
+  shard_count_ = count;
+  shard_mask_ = count - 1;
+  shards_.reset(new LockShard[count]);
+}
+
+uint64_t LockManager::ShardHash(uint32_t table_id, uint64_t key) {
+  // SplitMix64 finalizer over the row's stable (table, key) identity.
+  // Deliberately config- and process-independent, so every manager (and
+  // every test) agrees on the routing of a given row; the shard index is
+  // just the low bits (hash & shard_mask_). Rows outside any table (test
+  // fixtures' stack rows) identify as (0, 0) and collapse into one shard,
+  // which is merely coarse, never wrong.
+  uint64_t h =
+      key + 0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(table_id) + 1);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+uint32_t LockManager::ShardIndexOf(const Row* row) const {
+  return static_cast<uint32_t>(ShardHash(row->wal_table_id(), row->wal_key())) &
+         shard_mask_;
+}
+
+void LockManager::ShardLatchTotals(uint64_t* spins, uint64_t* waits) {
+  uint64_t s = 0;
+  uint64_t w = 0;
+  for (uint32_t i = 0; i < shard_count_; i++) {
+    // Stat-less hold: reading the counters must not perturb them.
+    ShardGuard g(&shards_[i], nullptr);
+    s += shards_[i].latch_spins;
+    w += shards_[i].latch_waits;
+  }
+  *spins = s;
+  *waits = w;
+}
+
 bool LockManager::WoundAndClaim(TxnCB* victim, bool cascade) {
   if (!victim->Wound(cascade)) return false;
   if (victim->detached.exchange(false, std::memory_order_acq_rel)) {
@@ -313,18 +379,67 @@ LockReq* LockManager::MakeReq(TxnCB* txn, uint64_t seq, LockType type,
 
 AccessGrant LockManager::Submit(const AccessRequest& req, TxnCB* txn) {
   t_exec_stats = txn->stats;  // submits only run on the owning thread
-  AccessGrant grant = req.upgrade_of != nullptr ? UpgradeLocked(req, txn)
-                                                : SubmitLocked(req, txn);
+  AccessGrant grant;
+  {
+    LockShard* sh = ShardOf(req.row);
+    // Any pool slab growth happens before the latch (upgrades reuse their
+    // SH node and never allocate).
+    if (req.upgrade_of == nullptr) txn->pool.Reserve();
+    ShardGuard g(sh, txn->stats);
+    grant = req.upgrade_of != nullptr ? UpgradeOne(req, txn)
+                                      : SubmitOne(sh, req, txn);
+  }
   DrainCompletions();
   return grant;
 }
 
-AccessGrant LockManager::SubmitLocked(const AccessRequest& req, TxnCB* txn) {
+int LockManager::SubmitMany(const AccessRequest* reqs, int n, TxnCB* txn,
+                            AccessGrant* grants) {
+  if (n <= 0) return 0;
+  t_exec_stats = txn->stats;  // batch submits only run on the owning thread
+  // One reservation covers the whole batch (an over-reserve when some
+  // grants are footprint-free snapshot reads, which is fine); per-run
+  // reservations would re-walk the free-slot check once per shard run.
+  txn->pool.Reserve(static_cast<uint32_t>(n));
+  int i = 0;
+  bool stopped = false;
+  while (i < n && !stopped) {
+    // One latch hold per consecutive same-shard run. The caller sorted the
+    // descriptors by (shard, key) and cached each row's shard index in the
+    // descriptor, so runs are maximal and splitting them is hash-free.
+    const uint32_t s = reqs[i].shard;
+    assert(s == ShardIndexOf(reqs[i].row));
+    int end = i + 1;
+    while (end < n && reqs[end].shard == s) end++;
+    {
+      ShardGuard g(&shards_[s], txn->stats);
+      for (; i < end; i++) {
+        grants[i] = reqs[i].upgrade_of != nullptr
+                        ? UpgradeOne(reqs[i], txn)
+                        : SubmitOne(&shards_[s], reqs[i], txn);
+        if (grants[i].rc != AcqResult::kGranted) {
+          // A waiter must park (and an abort ends the attempt) before any
+          // later key is touched; the caller resumes the tail afterwards.
+          i++;
+          stopped = true;
+          break;
+        }
+      }
+    }
+    if (txn->stats != nullptr) txn->stats->batch_runs++;
+  }
+  if (txn->stats != nullptr) txn->stats->batch_keys += static_cast<uint64_t>(i);
+  // Claimed wound completions must run before the caller parks on a kWait
+  // grant: one of them could be the very transaction the caller waits on.
+  DrainCompletions();
+  return i;
+}
+
+AccessGrant LockManager::SubmitOne(LockShard* sh, const AccessRequest& req,
+                                   TxnCB* txn) {
   Row* row = req.row;
   const LockType type = req.type;
   LockEntry* e = row->Lock();
-  txn->pool.Reserve();  // any slab growth happens before the latch
-  LatchGuard g(&e->latch, txn->stats);
   const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
 
   // Uncontended fast path: a fully empty entry grants immediately under
@@ -345,11 +460,12 @@ AccessGrant LockManager::SubmitLocked(const AccessRequest& req, TxnCB* txn) {
   }
 
   // Gather conflicts. Self re-acquisition never reaches the lock manager
-  // (TxnHandle deduplicates accesses; upgrades go through UpgradeLocked).
+  // (TxnHandle deduplicates accesses; upgrades go through UpgradeOne).
   // Thread-local scratch keeps the allocator out of the latch-held
-  // critical section; SubmitLocked is never re-entered on a thread
-  // (completions only run Release). A pending SH->EX upgrade conflicts as
-  // EX (EffectiveType) so nothing grants past -- or stacks behind -- it.
+  // critical section; SubmitOne is never re-entered on a thread -- the
+  // batch loop calls it sequentially and completions only run Release. A
+  // pending SH->EX upgrade conflicts as EX (EffectiveType) so nothing
+  // grants past -- or stacks behind -- it.
   thread_local std::vector<LockReq*> c_owners;
   thread_local std::vector<LockReq*> c_retired;
   c_owners.clear();
@@ -477,7 +593,7 @@ AccessGrant LockManager::SubmitLocked(const AccessRequest& req, TxnCB* txn) {
              (!txn->raw_suppressed &&
               !txn->wrote_any.load(std::memory_order_relaxed) &&
               txn->commit_semaphore.load(std::memory_order_acquire) == 0))) {
-          return RawSnapshotRead(row, txn, req.read_buf);
+          return RawSnapshotRead(sh, row, txn, req.read_buf);
         }
       }
 
@@ -547,6 +663,9 @@ __attribute__((always_inline)) inline AccessGrant LockManager::GrantNow(
   grant.rc = AcqResult::kGranted;
   grant.token = r;
   ValidateSnapshotObservation(row, txn, type);
+#ifdef BAMBOO_DEBUG_STUCK
+  t_dep_site = 'G';
+#endif
   grant.dirty = RegisterBarrier(e, txn, type, seq);
   if (type == LockType::kEX) {
     txn->wrote_any.store(true, std::memory_order_relaxed);
@@ -566,6 +685,9 @@ __attribute__((always_inline)) inline AccessGrant LockManager::GrantNow(
   } else {
     CopyRowImage(req.read_buf, row->NewestData(), row->size());
     if (grant.dirty && txn->stats != nullptr) txn->stats->dirty_reads++;
+    if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read) {
+      ObserveLockedRead(row, txn, grant.dirty);
+    }
     if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_read_retire) {
       e->retired.PushBack(r, ReqQueue::kRetired);
       grant.retired = true;
@@ -578,11 +700,10 @@ __attribute__((always_inline)) inline AccessGrant LockManager::GrantNow(
 
 // --- SH -> EX upgrades ------------------------------------------------------
 
-AccessGrant LockManager::UpgradeLocked(const AccessRequest& req, TxnCB* txn) {
+AccessGrant LockManager::UpgradeOne(const AccessRequest& req, TxnCB* txn) {
   Row* row = req.row;
   LockReq* r = req.upgrade_of;
   LockEntry* e = row->Lock();
-  LatchGuard g(&e->latch, txn->stats);
   AccessGrant a;
   if (txn->IsAborted()) {
     a.rc = AcqResult::kAbort;
@@ -708,6 +829,9 @@ AccessGrant LockManager::GrantUpgrade(LockEntry* e, Row* row, LockReq* r) {
   g.rc = AcqResult::kGranted;
   g.token = r;
   ValidateSnapshotObservation(row, txn, LockType::kEX);
+#ifdef BAMBOO_DEBUG_STUCK
+  t_dep_site = 'U';
+#endif
   g.dirty = RegisterBarrier(e, txn, LockType::kEX, r->seq);
   txn->wrote_any.store(true, std::memory_order_relaxed);
   g.write_data = row->PushVersion(txn, r->seq);
@@ -748,14 +872,58 @@ void LockManager::TryGrantUpgrade(LockEntry* e, Row* row) {
 
 // ---------------------------------------------------------------------------
 
-AccessGrant LockManager::RawSnapshotRead(Row* row, TxnCB* txn,
+void LockManager::ObserveLockedRead(Row* row, TxnCB* txn, bool dirty) {
+  // Maintains the gate for shard-mirror snapshot pins (RawSnapshotRead).
+  // Runs under the row's shard latch on the owning thread, for every
+  // Bamboo+Opt-3 SH grant served under a lock.
+  //
+  // A dirty read, or any read over a non-empty version chain, may have
+  // observed a commit whose stamp is allocated but not yet *published*
+  // (committed-but-unreleased versions sit in the chain); no local value
+  // can be proven to cover it, so such an attempt must pin from the
+  // global watermark. A clean read of a row with an empty chain observed
+  // exactly the base image, whose base_cts is always a published stamp:
+  // it raises the floor a mirror pin must reach.
+  if (dirty || !row->chain().empty()) {
+    txn->obs_cts_unbounded = true;
+    return;
+  }
+  uint64_t base = row->base_cts();
+  if (base > txn->obs_cts_floor) txn->obs_cts_floor = base;
+}
+
+AccessGrant LockManager::RawSnapshotRead(LockShard* sh, Row* row, TxnCB* txn,
                                          char* read_buf) {
   uint64_t snap = txn->raw_snapshot_cts.load(std::memory_order_relaxed);
   if (snap == 0) {
-    // First raw read: pin the snapshot at the published CTS watermark.
-    // Every stamp at or below it is visible, and the base image can never
-    // be newer than the watermark, so a fresh pin can always be served.
-    snap = cts_counter_->load(std::memory_order_acquire);
+    // First raw read: pin the snapshot at a *published* CTS value -- every
+    // stamp at or below the pin must already be visible. The authoritative
+    // choice is the global published watermark, but loading it turns the
+    // CTS authority's cache line into an all-cores hot spot, so try the
+    // shard's mirror first. The mirror only ever holds previously
+    // published values (committed EX releases in this shard refresh it
+    // with their own published stamps, and fallback pins warm it), so a
+    // mirror pin is sound exactly when it is not too *old*:
+    //   - it must cover everything this attempt already observed under
+    //     locks. Clean empty-chain reads raised obs_cts_floor to their
+    //     (published) base stamps; every other observation set
+    //     obs_cts_unbounded -- its stamp cannot be bounded locally -- and
+    //     forces the fallback. The pin gate in SubmitOne already drained
+    //     the commit semaphore, so dirty observations have committed, but
+    //     their stamps may still exceed any stale local value.
+    //   - it must reach this row's base_cts, so the pin can be served.
+    // Both CTS counters seed at 1 (first real stamp is 2), so a floor of 1
+    // pins the "nothing committed yet" snapshot.
+    uint64_t local = sh->cts_mirror;
+    if (txn->obs_cts_floor > local) local = txn->obs_cts_floor;
+    if (local == 0) local = 1;
+    if (!txn->obs_cts_unbounded && local >= row->base_cts()) {
+      snap = local;
+      if (txn->stats != nullptr) txn->stats->cts_mirror_pins++;
+    } else {
+      snap = cts_counter_->load(std::memory_order_acquire);
+      if (snap > sh->cts_mirror) sh->cts_mirror = snap;  // warm the mirror
+    }
     txn->raw_snapshot_cts.store(snap, std::memory_order_relaxed);
   }
 
@@ -813,24 +981,41 @@ void LockManager::ValidateSnapshotObservation(Row* row, TxnCB* txn,
   }
 }
 
-/// Register the commit dependencies for a grant: one edge to *every*
-/// conflicting retired entry. Registering only on the latest conflicting
-/// entry is not enough: transitivity through it fails when the entries in
-/// between do not conflict with each other (two retired readers are
-/// mutually unordered, so a writer barriered on the later reader alone
-/// could commit before the earlier one -- a real commit-order cycle, see
-/// TestStressSerializableHotspotRawRead). Grants are only issued when all
-/// conflicting uncommitted retired holders are older, so every edge still
-/// points younger -> older and the graph stays acyclic. Edges to already
-/// committed entries carry no cascade risk but still gate the commit on
-/// their release, which keeps version installs in chain order. Returns
-/// whether the grant consumes an uncommitted (dirty) state.
+/// Register the commit dependencies for a grant: one edge to every
+/// conflicting retired entry down to (and including) the newest held-EX
+/// conflict, which cuts the walk off. Registering only on the single
+/// latest conflicting entry is not enough: transitivity through it fails
+/// when the entries in between do not conflict with each other (two
+/// retired readers are mutually unordered, so a writer barriered on the
+/// later reader alone could commit before the earlier one -- a real
+/// commit-order cycle, see TestStressSerializableHotspotRawRead). A
+/// held-EX entry, however, conflicts with *every* entry older than it, so
+/// its own barriers -- registered under this same rule when it was
+/// granted -- already gate its release on all of their releases, and its
+/// ack epoch carries their durability (the release path propagates
+/// max(log_epoch, dep acks), so the rule is transitive). Everything past
+/// the newest EX conflict is therefore covered by that one edge; without
+/// the cutoff a hot row's write chain registers O(chain^2) edges and the
+/// drain work quadruples every time the pipeline depth doubles. Grants
+/// are only issued when all conflicting uncommitted retired holders are
+/// older, so every edge still points younger -> older and the graph stays
+/// acyclic. Edges to already committed entries carry no cascade risk but
+/// still gate the commit on their release, which keeps version installs
+/// in chain order. Returns whether the grant consumes an uncommitted
+/// (dirty) state.
 bool LockManager::RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type,
                                   uint64_t seq) {
   bool dirty = false;
   bool newest = true;
   for (LockReq* it = e->retired.tail; it != nullptr; it = it->prev) {
-    if (it->txn == txn || !Conflicts(EffectiveType(*it), type)) continue;
+    // Barrier on the *held* type, not EffectiveType: a pending upgrade
+    // still holds only SH. Its EX conflict materializes in GrantUpgrade,
+    // which registers its own (younger -> older) barriers at grant time.
+    // Depending on the not-yet-granted upgrade here would invert the edge:
+    // a promoted waiter finalizing its grant can be OLDER than an upgrade
+    // that pended after its promotion, and an older -> younger edge closes
+    // a commit-order cycle with the upgrade's own barrier (deadlock).
+    if (it->txn == txn || !Conflicts(it->type, type)) continue;
     if (newest) {
       dirty = !HolderCommitted(*it);
       newest = false;
@@ -841,6 +1026,21 @@ bool LockManager::RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type,
     DepPush(it, txn, seq, t_exec_stats);
     txn->commit_semaphore.fetch_add(1, std::memory_order_acq_rel);
     txn->deps_taken++;
+#ifdef BAMBOO_DEBUG_STUCK
+    std::fprintf(stderr,
+                 "DEP+ site=%c e=%p pre=%p prets=%llu preseq=%llu prestat=%u "
+                 "dep=%p dets=%llu depseq=%llu\n",
+                 t_dep_site, (void*)e, (void*)it->txn,
+                 (unsigned long long)it->txn->ts.load(),
+                 (unsigned long long)it->seq, (unsigned)it->txn->status.load(),
+                 (void*)txn, (unsigned long long)txn->ts.load(),
+                 (unsigned long long)seq);
+#endif
+    // Transitive cutoff (see the function comment): this held-EX
+    // predecessor already gates on every older entry's release, so the
+    // edge just taken covers the rest of the chain. A pending SH->EX
+    // upgrade holds only SH (it->type stays kSH) and never cuts off.
+    if (it->type == LockType::kEX) break;
   }
   return dirty;
 }
@@ -848,7 +1048,11 @@ bool LockManager::RegisterBarrier(LockEntry* e, TxnCB* txn, LockType type,
 AccessGrant LockManager::Resume(const AccessRequest& req, TxnCB* txn,
                                 GrantToken token) {
   t_exec_stats = txn->stats;  // resumes only run on the owning thread
-  AccessGrant grant = ResumeLocked(req, txn, token);
+  AccessGrant grant;
+  {
+    ShardGuard g(ShardOf(req.row), txn->stats);
+    grant = ResumeLocked(req, txn, token);
+  }
   DrainCompletions();
   return grant;
 }
@@ -856,7 +1060,6 @@ AccessGrant LockManager::Resume(const AccessRequest& req, TxnCB* txn,
 AccessGrant LockManager::ResumeLocked(const AccessRequest& req, TxnCB* txn,
                                       GrantToken token) {
   LockEntry* e = req.row->Lock();
-  LatchGuard g(&e->latch, txn->stats);
   if (txn->IsAborted()) {
     AccessGrant a;
     a.rc = AcqResult::kAbort;
@@ -883,6 +1086,9 @@ AccessGrant LockManager::FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn,
   grant.rc = AcqResult::kGranted;
   grant.token = token;
   ValidateSnapshotObservation(row, txn, type);
+#ifdef BAMBOO_DEBUG_STUCK
+  t_dep_site = 'F';
+#endif
   grant.dirty = RegisterBarrier(e, txn, type, seq);
 
   if (type == LockType::kEX) {
@@ -894,6 +1100,9 @@ AccessGrant LockManager::FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn,
     // writer the instant the latch drops.
     CopyRowImage(read_buf, row->NewestData(), row->size());
     if (grant.dirty && txn->stats != nullptr) txn->stats->dirty_reads++;
+    if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read) {
+      ObserveLockedRead(row, txn, grant.dirty);
+    }
     if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_read_retire &&
         token->queue == ReqQueue::kOwners) {
       // Opt 1: the read is complete, retire inside the same latch hold --
@@ -907,15 +1116,38 @@ AccessGrant LockManager::FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn,
   return grant;
 }
 
+bool LockManager::RmwRetired(Row* row, GrantToken token, RmwFn fn, void* arg) {
+  TxnCB* txn = token->txn;
+  t_exec_stats = txn->stats;  // own-write RMWs only run on the owning thread
+  bool ok;
+  {
+    ShardGuard g(ShardOf(row), txn->stats);
+    // A dependent on the retired entry conflicted with (and may have
+    // dirty-read) this version: its bytes are no longer private, so a
+    // second in-place write would rewrite state another transaction
+    // already observed. With no dependents the version is still private
+    // -- it is also necessarily the newest (any later writer would have
+    // registered a barrier on it) -- and the RMW can land in place.
+    ok = token->queue == ReqQueue::kRetired && token->dep_count == 0 &&
+         !txn->IsAborted();
+    if (ok) fn(token->write_data, arg);
+  }
+  return ok;
+}
+
 void LockManager::Retire(Row* row, GrantToken token) {
   TxnCB* txn = token->txn;
   t_exec_stats = txn->stats;  // retires only run on the owning thread
   LockEntry* e = row->Lock();
-  LatchGuard g(&e->latch, txn->stats);
-  if (token->queue != ReqQueue::kOwners) return;  // aborted concurrently
-  e->owners.Remove(token);
-  e->retired.PushBack(token, ReqQueue::kRetired);
-  PromoteWaiters(e, row);
+  {
+    ShardGuard g(ShardOf(row), txn->stats);
+    if (token->queue == ReqQueue::kOwners) {  // else: aborted concurrently
+      e->owners.Remove(token);
+      e->retired.PushBack(token, ReqQueue::kRetired);
+      PromoteWaiters(e, row);
+    }
+  }
+  DrainCompletions();  // PromoteWaiters can claim wound completions
 }
 
 int LockManager::Release(Row* row, GrantToken token, bool committed) {
@@ -923,7 +1155,38 @@ int LockManager::Release(Row* row, GrantToken token, bool committed) {
   // transaction; keep charging latch contention to the thread's own
   // worker stats (set by the outer public call), never the origin's.
   if (!t_draining) t_exec_stats = token->txn->stats;
-  int wounded = ReleaseLocked(row, token, committed);
+  int wounded;
+  {
+    LockShard* sh = ShardOf(row);
+    ShardGuard g(sh, t_exec_stats);
+    wounded = ReleaseOne(sh, row, token, committed);
+  }
+  DrainCompletions();
+  return wounded;
+}
+
+int LockManager::ReleaseMany(const ReleaseOp* ops, int n, bool committed) {
+  if (n <= 0) return 0;
+  // All ops belong to one transaction (the caller's); charge the batch to
+  // the executing thread exactly like Release would.
+  if (!t_draining) t_exec_stats = ops[0].token->txn->stats;
+  int wounded = 0;
+  int i = 0;
+  while (i < n) {
+    // The caller cached each op's shard (ReleaseOp::shard) when it built
+    // and sorted the batch; trusting it here keeps the row-identity hash
+    // off the release path entirely.
+    const uint32_t s = ops[i].shard;
+    assert(s == ShardIndexOf(ops[i].row));
+    int end = i + 1;
+    while (end < n && ops[end].shard == s) end++;
+    {
+      ShardGuard g(&shards_[s], t_exec_stats);
+      for (; i < end; i++) {
+        wounded += ReleaseOne(&shards_[s], ops[i].row, ops[i].token, committed);
+      }
+    }
+  }
   DrainCompletions();
   return wounded;
 }
@@ -935,7 +1198,24 @@ int LockManager::RetireDependentsAndFree(LockReq* req, bool committed) {
   for (uint32_t i = 0; i < n; i++) {
     DepRec* rec = cur.Next();
     TxnCB* dep = rec->txn;
-    if (dep->txn_seq.load(std::memory_order_acquire) != rec->seq) continue;
+    if (dep->txn_seq.load(std::memory_order_acquire) != rec->seq) {
+#ifdef BAMBOO_DEBUG_STUCK
+      std::fprintf(stderr,
+                   "DEP-SKIP dep=%p ts=%llu status=%u sem=%lld recseq=%llu "
+                   "depseq=%llu\n",
+                   (void*)dep, (unsigned long long)dep->ts.load(),
+                   (unsigned)dep->status.load(),
+                   (long long)dep->commit_semaphore.load(),
+                   (unsigned long long)rec->seq,
+                   (unsigned long long)dep->txn_seq.load());
+#endif
+      continue;
+    }
+#ifdef BAMBOO_DEBUG_STUCK
+    std::fprintf(stderr, "DEP- pre=%p preseq=%llu dep=%p depseq=%llu c=%d\n",
+                 (void*)req->txn, (unsigned long long)req->seq, (void*)dep,
+                 (unsigned long long)rec->seq, committed ? 1 : 0);
+#endif
     if (committed) {
       // Dependency-aware durability: hand the dependent our durable-ack
       // epoch before lifting its commit barrier, so it can never be
@@ -971,9 +1251,9 @@ int LockManager::RetireDependentsAndFree(LockReq* req, bool committed) {
   return wounded;
 }
 
-int LockManager::ReleaseLocked(Row* row, GrantToken req, bool committed) {
+int LockManager::ReleaseOne(LockShard* sh, Row* row, GrantToken req,
+                            bool committed) {
   LockEntry* e = row->Lock();
-  LatchGuard g(&e->latch, t_exec_stats);
   TxnCB* txn = req->txn;
 
   int wounded = 0;
@@ -1000,9 +1280,12 @@ int LockManager::ReleaseLocked(Row* row, GrantToken req, bool committed) {
           // The committer drew its CTS before releasing, so the stamp is
           // available here (0 only for test-driven manual commits, which
           // keeps their rows' CTS bookkeeping inert).
-          row->CommitVersion(txn, req->seq,
-                             txn->commit_cts.load(std::memory_order_acquire),
-                             /*retain=*/track_cts);
+          const uint64_t cts = txn->commit_cts.load(std::memory_order_acquire);
+          row->CommitVersion(txn, req->seq, cts, /*retain=*/track_cts);
+          // The stamp was published before the releases began
+          // (StampCommit's PublishCts), so it is a valid refresh for the
+          // shard's mirror of the published watermark.
+          if (track_cts && cts > sh->cts_mirror) sh->cts_mirror = cts;
         } else {
           row->AbortVersion(txn, req->seq);
         }
@@ -1011,6 +1294,10 @@ int LockManager::ReleaseLocked(Row* row, GrantToken req, bool committed) {
       break;
     }
     case ReqQueue::kNone:
+#ifdef BAMBOO_DEBUG_STUCK
+      std::fprintf(stderr, "RELEASE-NONE txn=%p ts=%llu row=%p\n", (void*)txn,
+                   (unsigned long long)txn->ts.load(), (void*)row);
+#endif
       break;  // already released; tolerated defensively
   }
 
@@ -1071,6 +1358,9 @@ void LockManager::PromoteWaiters(LockEntry* e, Row* row) {
       // updates completes in this single latch hold.
       ValidateSnapshotObservation(row, t, LockType::kEX);
       t->wrote_any.store(true, std::memory_order_relaxed);
+#ifdef BAMBOO_DEBUG_STUCK
+  t_dep_site = 'P';
+#endif
       RegisterBarrier(e, t, LockType::kEX, w->seq);
       char* data = row->PushVersion(t, w->seq);
       w->write_data = data;
@@ -1123,25 +1413,55 @@ void LockManager::InsertWaiter(LockEntry* e, LockReq* req) {
 }
 
 size_t LockManager::OwnerCount(Row* row) {
-  LatchGuard g(&row->Lock()->latch, nullptr);
+  ShardGuard g(ShardOf(row), nullptr);
   return row->Lock()->owners.size;
 }
 size_t LockManager::RetiredCount(Row* row) {
-  LatchGuard g(&row->Lock()->latch, nullptr);
+  ShardGuard g(ShardOf(row), nullptr);
   return row->Lock()->retired.size;
 }
 size_t LockManager::WaiterCount(Row* row) {
-  LatchGuard g(&row->Lock()->latch, nullptr);
+  ShardGuard g(ShardOf(row), nullptr);
   return row->Lock()->waiters.size;
 }
 
 size_t LockManager::DependentCount(Row* row, TxnCB* txn) {
   LockEntry* e = row->Lock();
-  LatchGuard g(&e->latch, nullptr);
+  ShardGuard g(ShardOf(row), nullptr);
   const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
   LockReq* r = FindReqForInspection(&e->retired, txn, seq);
   if (r == nullptr) r = FindReqForInspection(&e->owners, txn, seq);
   return r != nullptr ? r->dep_count : 0;
+}
+
+void LockManager::DebugDumpRow(Row* row) {
+  LockEntry* e = row->Lock();
+  ShardGuard g(ShardOf(row), nullptr);
+  std::fprintf(stderr,
+               "  row=%p shard=%u owners=%u retired=%u waiters=%u "
+               "upgrades_pending=%u\n",
+               static_cast<void*>(row), ShardIndexOf(row), e->owners.size,
+               e->retired.size, e->waiters.size, e->upgrades_pending);
+  const struct {
+    const char* name;
+    LockReq* head;
+  } lists[] = {{"owner", e->owners.head},
+               {"retired", e->retired.head},
+               {"waiter", e->waiters.head}};
+  for (const auto& l : lists) {
+    for (LockReq* r = l.head; r != nullptr; r = r->next) {
+      std::fprintf(
+          stderr,
+          "    %s txn=%p ts=%llu type=%s%s status=%u deps=%u\n", l.name,
+          static_cast<void*>(r->txn),
+          static_cast<unsigned long long>(
+              r->txn->ts.load(std::memory_order_relaxed)),
+          r->type == LockType::kEX ? "EX" : "SH",
+          r->upgrading ? "+upg" : "",
+          static_cast<unsigned>(r->txn->status.load(std::memory_order_relaxed)),
+          r->dep_count);
+    }
+  }
 }
 
 }  // namespace bamboo

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 
 #include "src/common/config.h"
 #include "src/common/platform.h"
@@ -231,15 +232,13 @@ class ReqPool {
 ///   retired - released early (Bamboo); order = dependency = commit order
 ///   waiters - blocked requests, oldest timestamp first
 ///
-/// The entry is cache-line aligned with the latch word leading it, so the
-/// word sits exactly on a line boundary and adjacent entries (or the
-/// surrounding Row fields) never false-share with it. The queue heads
-/// deliberately share the latch's line: the latch spin budget is short
-/// (SpinLatch parks early), so the holder's footprint -- latch word plus
-/// queue heads in one line -- dominates the cost model, and a packed
-/// entry is one line cheaper on every uncontended operation.
+/// The entry carries no latch of its own: all queue state is guarded by the
+/// latch of the LockShard the row hashes to (LockManager::ShardIndexOf), so
+/// a multi-key batch landing in one shard mutates many entries under a
+/// single latch hold. The entry stays cache-line aligned so adjacent
+/// entries (or the surrounding Row fields) never false-share the queue
+/// heads the shard-latch holder is writing.
 struct alignas(kCacheLineSize) LockEntry {
-  SpinLatch latch;
   ReqList owners;
   ReqList retired;
   ReqList waiters;
@@ -247,6 +246,31 @@ struct alignas(kCacheLineSize) LockEntry {
   /// ones excluded). Lets PromoteWaiters skip the upgrade scan entirely in
   /// the common no-upgrade case.
   uint32_t upgrades_pending = 0;
+};
+
+/// One latch domain of the sharded lock table. Rows map to shards by a
+/// stable hash of their (table, key) identity, so latch traffic spreads
+/// across `Config::lock_shards` independent cache lines instead of
+/// serializing on hot entries' lines, and the batch APIs take one latch
+/// hold per same-shard run. Everything behind the latch word is guarded by
+/// it (plain fields, no atomics):
+///
+///   latch_spins/latch_waits - contention counters, mirrored into the
+///       executing thread's ThreadStats by ShardGuard (lock_table.cc); the
+///       shard copy exists so tests can assert the two bookkeeping paths
+///       agree (no double-counting in detached release).
+///   cts_mirror - a conservative lower bound on the CTS authority's
+///       *published* watermark, refreshed by committed EX releases in this
+///       shard. Opt-3 snapshot pins can often be served from it without
+///       touching the global watermark line (see RawSnapshotRead).
+///
+/// alignas isolates each shard on its own line: neighboring shards' latch
+/// words must not ping-pong one line between cores.
+struct alignas(kCacheLineSize) LockShard {
+  SpinLatch latch;
+  uint64_t latch_spins = 0;
+  uint64_t latch_waits = 0;
+  uint64_t cts_mirror = 0;
 };
 
 enum class AcqResult {
@@ -268,6 +292,12 @@ struct AccessRequest {
   void* rmw_arg = nullptr;
   bool retire_now = false;   ///< fused RMW: retire inside the same latch hold
   GrantToken upgrade_of = nullptr;  ///< SH->EX: the held SH grant to convert
+  /// `row`'s shard index (ShardIndexOf) -- batch submission only. The
+  /// batch caller computes it once while shard-sorting the descriptors;
+  /// SubmitMany splits runs and picks the latch from this cached value
+  /// instead of rehashing the row identity per key. Scalar Submit/Resume
+  /// ignore it (they route from the row directly).
+  uint32_t shard = 0;
 };
 
 /// Outcome of a Submit/Resume round.
@@ -283,25 +313,41 @@ struct AccessGrant {
   char* write_data = nullptr;  ///< EX: private version image (stable)
 };
 
+/// One release operation for LockManager::ReleaseMany: the row plus the
+/// grant token its access holds. The caller sorts ops by shard
+/// (ShardIndexOf) so adjacent same-shard ops release under one latch hold.
+struct ReleaseOp {
+  Row* row = nullptr;
+  GrantToken token = nullptr;
+  /// `row`'s shard index (ShardIndexOf), filled by the caller. Caching it
+  /// keeps the shard hash out of the sort comparator and out of the
+  /// run-splitting scan: a release batch sorts once on this int instead of
+  /// rehashing the row identity O(n log n) times.
+  uint32_t shard = 0;
+};
+
 /// The lock manager implements Bamboo plus the 2PL baselines over the
-/// per-tuple queues. All list manipulation happens under the entry latch;
-/// blocking is delegated to the caller (kWait + TxnCB::WaitFor) so the
-/// manager itself never sleeps.
+/// per-tuple queues. All list manipulation happens under the shard latch
+/// of the row's shard; blocking is delegated to the caller (kWait +
+/// TxnCB::WaitFor) so the manager itself never sleeps and never holds two
+/// shard latches at once.
 ///
 /// Access protocol: Submit(descriptor) -> AccessGrant carrying the token;
 /// a kWait result parks the caller, then Resume(descriptor, token)
 /// finishes the round. Retire and Release take the token and are O(1) --
-/// no (txn, seq) scan exists anywhere on the hot path.
+/// no (txn, seq) scan exists anywhere on the hot path. SubmitMany /
+/// ReleaseMany run shard-sorted descriptor arrays with one latch hold per
+/// same-shard run.
 class LockManager {
  public:
   /// `ts_counter` feeds wound-wait priority timestamps. `cts_counter` is
   /// the *published* commit-timestamp watermark (CCManager::cts_stamped_,
-  /// advanced by PublishCts), only loaded here to pin Opt-3 raw-read
-  /// snapshots -- pinning from the allocation counter instead would race
-  /// with in-flight stamps (see DESIGN.md).
+  /// advanced by PublishCts), loaded here to pin Opt-3 raw-read snapshots
+  /// when the shard's cts_mirror cannot serve the pin -- pinning from the
+  /// allocation counter instead would race with in-flight stamps (see
+  /// DESIGN.md).
   LockManager(const Config& cfg, std::atomic<uint64_t>* ts_counter,
-              std::atomic<uint64_t>* cts_counter)
-      : cfg_(cfg), ts_counter_(ts_counter), cts_counter_(cts_counter) {}
+              std::atomic<uint64_t>* cts_counter);
 
   /// Start the access described by `req` for `txn`. For SH grants the
   /// current image (or the Opt-3 committed image) is copied into
@@ -310,12 +356,32 @@ class LockManager {
   /// the same latch hold; for upgrades the held SH converts in place.
   AccessGrant Submit(const AccessRequest& req, TxnCB* txn);
 
+  /// Batch submission: run `reqs[0..n)` -- pre-sorted by (shard, key) by
+  /// the caller (TxnHandle::ReadMany/UpdateRmwMany) -- taking one shard
+  /// latch hold per consecutive same-shard run. Stops after the first
+  /// grant that is not kGranted (a waiter must park before later keys are
+  /// touched, an abort ends the attempt); returns the number of grants
+  /// produced (>= 1 for n >= 1), with `grants[i]` filled for each. The
+  /// caller resumes the remainder with another SubmitMany call after
+  /// handling the stop. Pool slots for each run are reserved before its
+  /// latch is taken.
+  int SubmitMany(const AccessRequest* reqs, int n, TxnCB* txn,
+                 AccessGrant* grants);
+
   /// Finish a Submit that returned kWait after the wait ended. Pass the
   /// same descriptor plus the token Submit returned. Plain reads/writes
   /// finalize here (image copy / version creation); fused RMWs and
   /// upgrades were already completed by the promoting thread, so Resume
   /// just reports the final state off the token.
   AccessGrant Resume(const AccessRequest& req, TxnCB* txn, GrantToken token);
+
+  /// RMW-own-write on an already-retired EX version (a second write by the
+  /// same transaction to a row whose lock it released early). Lands the
+  /// RMW in place iff no dependent has registered on the retired entry --
+  /// no other transaction observed the version yet, so the bytes are still
+  /// private. Returns false (caller aborts the attempt) otherwise; the
+  /// outcome depends on live contention, so a retry is not doomed.
+  bool RmwRetired(Row* row, GrantToken token, RmwFn fn, void* arg);
 
   /// Move a granted request from owners to the retired list (early release
   /// of the write lock; the heart of the protocol). O(1) off the token.
@@ -328,21 +394,50 @@ class LockManager {
   /// number of dependents wounded (cascade fan-out).
   int Release(Row* row, GrantToken token, bool committed);
 
+  /// Batch release: drop `ops[0..n)` (all belonging to one transaction)
+  /// with one shard latch hold per consecutive same-shard run; the caller
+  /// sorts ops by ShardIndexOf to maximize run length. Same per-op
+  /// semantics as Release. Returns total dependents wounded.
+  int ReleaseMany(const ReleaseOp* ops, int n, bool committed);
+
+  // --- shard routing. The hash is a pure function of the row's stable
+  // (wal_table_id, wal_key) identity -- independent of Config, shard
+  // count, protocol, and process -- so two managers over the same data
+  // agree on it and tests can pin expectations.
+  static uint64_t ShardHash(uint32_t table_id, uint64_t key);
+  /// The shard `row` routes to in *this* manager: ShardHash & (shards-1).
+  uint32_t ShardIndexOf(const Row* row) const;
+  uint32_t shard_count() const { return shard_count_; }
+
+  /// Sum of all shards' latch contention counters (latched per shard, not
+  /// a consistent global snapshot). The shard counters mirror what
+  /// ShardGuard charged to ThreadStats, so with all workers' stats summed
+  /// the two must agree exactly -- the detached-release double-counting
+  /// regression test relies on this.
+  void ShardLatchTotals(uint64_t* spins, uint64_t* waits);
+
   /// Test/inspection helpers (latched).
   size_t OwnerCount(Row* row);
   size_t RetiredCount(Row* row);
   size_t WaiterCount(Row* row);
   /// Dependent records currently held on txn's request (0 when absent).
   size_t DependentCount(Row* row, TxnCB* txn);
+  /// Debug aid: dump a row's queues to stderr (used by the
+  /// BAMBOO_DEBUG_STUCK watchdog in txn_handle.cc).
+  void DebugDumpRow(Row* row);
 
  private:
-  /// Latched bodies of the public entry points; the public wrappers run
-  /// any claimed detached-commit completions after the latch drops.
-  AccessGrant SubmitLocked(const AccessRequest& req, TxnCB* txn);
-  AccessGrant UpgradeLocked(const AccessRequest& req, TxnCB* txn);
+  LockShard* ShardOf(const Row* row) { return &shards_[ShardIndexOf(row)]; }
+
+  /// Latch-free bodies of the public entry points, run under the row's
+  /// shard latch; the public wrappers take the latch (one hold per
+  /// same-shard run in the batch APIs) and run any claimed
+  /// detached-commit completions after it drops.
+  AccessGrant SubmitOne(LockShard* sh, const AccessRequest& req, TxnCB* txn);
+  AccessGrant UpgradeOne(const AccessRequest& req, TxnCB* txn);
   AccessGrant ResumeLocked(const AccessRequest& req, TxnCB* txn,
                            GrantToken token);
-  int ReleaseLocked(Row* row, GrantToken token, bool committed);
+  int ReleaseOne(LockShard* sh, Row* row, GrantToken token, bool committed);
 
   /// Wound `victim`; if the victim's owner already handed its commit off,
   /// claim the completion so its rollback happens promptly (queued, run
@@ -366,7 +461,14 @@ class LockManager {
   /// kGranted with took_lock = false, or kAbort when every eligible image
   /// was already overwritten past the retained slot -- the reader can no
   /// longer be served consistently and must retry on a fresh snapshot.
-  AccessGrant RawSnapshotRead(Row* row, TxnCB* txn, char* read_buf);
+  /// Fresh pins are served from `sh`'s cts_mirror when sound (see the
+  /// observed-floor gate in lock_table.cc), else from the global
+  /// published watermark.
+  AccessGrant RawSnapshotRead(LockShard* sh, Row* row, TxnCB* txn,
+                              char* read_buf);
+  /// Maintain the observed-CTS floor that gates shard-mirror snapshot
+  /// pins: called for every Bamboo+Opt-3 SH grant served under a lock.
+  static void ObserveLockedRead(Row* row, TxnCB* txn, bool dirty);
   /// Snapshot validation for locked grants: once a transaction pinned a
   /// raw-read snapshot, any image it observes under a lock must still be
   /// inside that snapshot. Violations mark TxnCB::snapshot_invalid; commit
@@ -408,6 +510,11 @@ class LockManager {
   const Config& cfg_;
   std::atomic<uint64_t>* ts_counter_;
   std::atomic<uint64_t>* cts_counter_;
+  /// Shard array: power-of-two sized (index = hash & shard_mask_), each
+  /// shard on its own cache line.
+  std::unique_ptr<LockShard[]> shards_;
+  uint32_t shard_count_ = 1;
+  uint32_t shard_mask_ = 0;
 };
 
 }  // namespace bamboo

@@ -86,6 +86,18 @@ struct alignas(64) TxnCB {
   /// raw path and takes the ordinary wound/wait route instead of aborting
   /// on the same hot row forever.
   bool raw_suppressed = false;
+  /// Observed-CTS floor for shard-mirror snapshot pins (single-threaded:
+  /// written by the owning thread's clean shared reads under the shard
+  /// latch, read back at pin time). A fresh pin may use a shard's CTS
+  /// mirror only if the mirror (or this floor) is >= every commit this
+  /// attempt already observed; clean reads of rows with an empty version
+  /// chain raise the floor to the row's published base_cts.
+  uint64_t obs_cts_floor = 0;
+  /// Set when this attempt observed state whose commit stamp may not be
+  /// published yet (a dirty read, or any read over a non-empty version
+  /// chain). Such an attempt must pin from the global published watermark:
+  /// a stale shard mirror could order the snapshot before an observation.
+  bool obs_cts_unbounded = false;
 
   // --- durability (WAL epoch group commit; all 0 when logging is off).
   /// Group-commit epoch of this transaction's own log records, set by the
@@ -148,6 +160,8 @@ struct alignas(64) TxnCB {
     raw_snapshot_cts.store(0, std::memory_order_relaxed);
     snapshot_invalid.store(false, std::memory_order_relaxed);
     wrote_any.store(false, std::memory_order_relaxed);
+    obs_cts_floor = 0;
+    obs_cts_unbounded = false;
     log_epoch = 0;
     log_ack_epoch = 0;
     dep_log_epoch.store(0, std::memory_order_relaxed);

@@ -106,23 +106,9 @@ uint64_t TxnHandle::WaitForLock(Row* row) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     if (NowNs() - start > 5000000000ull) {
-      LockEntry* e = row->Lock();
-      e->latch.Lock(nullptr, nullptr);
       std::fprintf(stderr, "STUCK-LOCK txn=%p ts=%llu row=%p\n", (void*)txn_,
                    (unsigned long long)txn_->ts.load(), (void*)row);
-      auto dump = [](const char* tag, const ReqList& list) {
-        for (const LockReq* r = list.head; r != nullptr; r = r->next) {
-          std::fprintf(stderr, "  %s txn=%p seq=%llu ts=%llu type=%s st=%u\n",
-                       tag, (void*)r->txn, (unsigned long long)r->seq,
-                       (unsigned long long)r->txn->ts.load(),
-                       r->type == LockType::kEX ? "EX" : "SH",
-                       (unsigned)r->txn->status.load());
-        }
-      };
-      dump("own", e->owners);
-      dump("ret", e->retired);
-      dump("wtr", e->waiters);
-      e->latch.Unlock();
+      lm_->DebugDumpRow(row);
       start = NowNs();
     }
   }
@@ -258,7 +244,14 @@ RC TxnHandle::UpdateRmwRow(Row* row, RmwFn fn, void* arg) {
         (a->state == AccState::kOwner || a->state == AccState::kRetired)) {
       return UpgradeAccess(a, fn, arg, nullptr);
     }
-    return FailAttempt();  // snapshot read, or EX already retired
+    if (a->type == LockType::kEX && a->state == AccState::kRetired) {
+      // RMW-own-write after early release: lands in place while the
+      // version is unobserved, aborts the attempt once a dependent has
+      // seen the bytes (FailAttempt would otherwise loop forever on a
+      // deterministic retry -- the workload replays the same duplicate).
+      if (lm_->RmwRetired(a->row, a->token, fn, arg)) return RC::kOk;
+    }
+    return FailAttempt();  // snapshot read, or observed retired version
   }
   txn_->ops_done++;
 
@@ -335,29 +328,68 @@ RC TxnHandle::ReadMany(HashIndex* index, const uint64_t* keys, int n,
   for (int i = 0; i < n; i++) batch_.push_back({keys[i], i});
   std::sort(batch_.begin(), batch_.end(),
             [](const BatchKey& a, const BatchKey& b) { return a.key < b.key; });
-  // One reservation covers the whole batch: no per-key pool check, and no
-  // slab growth can sneak in mid-pass.
-  if (cfg_.protocol != Protocol::kSilo) {
-    txn_->pool.Reserve(static_cast<uint32_t>(n));
+
+  if (cfg_.protocol == Protocol::kSilo) {
+    // Silo has no lock queues to batch over; keep the scalar per-key path.
+    bool have_prev = false;
+    uint64_t prev_key = 0;
+    const char* prev_data = nullptr;
+    for (const BatchKey& b : batch_) {
+      if (have_prev && b.key == prev_key) {
+        data_out[b.idx] = prev_data;  // duplicate key: share the copy
+        continue;
+      }
+      Row* row = index->Get(b.key);
+      if (row == nullptr) return FailAttempt();
+      const char* d = nullptr;
+      RC rc = ReadRow(row, &d);
+      if (rc != RC::kOk) return rc;
+      data_out[b.idx] = d;
+      prev_key = b.key;
+      prev_data = d;
+      have_prev = true;
+    }
+    return RC::kOk;
   }
 
+  // Pass 1 (key order): resolve rows, serve dedup hits from the existing
+  // footprint, and stage every new row for one sharded batch submission.
+  // uniq_data_ collects the image per distinct key, in key order.
+  pend_.clear();
+  uniq_data_.clear();
   bool have_prev = false;
   uint64_t prev_key = 0;
-  const char* prev_data = nullptr;
   for (const BatchKey& b : batch_) {
-    if (have_prev && b.key == prev_key) {
-      data_out[b.idx] = prev_data;  // duplicate key: share the copy
-      continue;
-    }
+    if (have_prev && b.key == prev_key) continue;
+    prev_key = b.key;
+    have_prev = true;
     Row* row = index->Get(b.key);
     if (row == nullptr) return FailAttempt();
-    const char* d = nullptr;
-    RC rc = ReadRow(row, &d);
-    if (rc != RC::kOk) return rc;
-    data_out[b.idx] = d;
-    prev_key = b.key;
-    prev_data = d;
-    have_prev = true;
+    if (const Access* a = FindAccess(row)) {
+      uniq_data_.push_back(a->data);  // repeatable read / read-own-write
+      continue;
+    }
+    txn_->ops_done++;
+    char* buf = ArenaAlloc(row->size());
+    pend_.push_back({row, lm_->ShardIndexOf(row),
+                     static_cast<int>(uniq_data_.size()), buf,
+                     /*fn=*/nullptr, /*arg=*/nullptr, /*retire_now=*/false});
+    uniq_data_.push_back(buf);
+  }
+  RC rc = SubmitPending(LockType::kSH);
+  if (rc != RC::kOk) return rc;
+
+  // Fill the caller's slots in key order, advancing one uniq_data_ slot
+  // per distinct key (duplicates share the copy).
+  int u = -1;
+  have_prev = false;
+  for (const BatchKey& b : batch_) {
+    if (!have_prev || b.key != prev_key) {
+      u++;
+      prev_key = b.key;
+      have_prev = true;
+    }
+    data_out[b.idx] = uniq_data_[static_cast<size_t>(u)];
   }
   return RC::kOk;
 }
@@ -373,9 +405,6 @@ RC TxnHandle::UpdateRmwMany(HashIndex* index, const uint64_t* keys, int n,
   for (int i = 0; i < n; i++) batch_.push_back({keys[i], i});
   std::sort(batch_.begin(), batch_.end(),
             [](const BatchKey& a, const BatchKey& b) { return a.key < b.key; });
-  if (cfg_.protocol != Protocol::kSilo) {
-    txn_->pool.Reserve(static_cast<uint32_t>(n));
-  }
 
   // Duplicate keys coalesce into one grant that applies the RMW once per
   // occurrence (sorted order makes runs adjacent). Applying them as
@@ -383,15 +412,40 @@ RC TxnHandle::UpdateRmwMany(HashIndex* index, const uint64_t* keys, int n,
   // occurrence retires the write in its grant, and a retired version may
   // already have been consumed by dirty readers -- which is also why a
   // repeated scalar UpdateRmw on a retired row fails the attempt.
-  struct RepeatArg {
-    RmwFn fn;
-    void* arg;
-    int n;
-  };
   RmwFn repeat_fn = [](char* d, void* a) {
-    const RepeatArg* r = static_cast<const RepeatArg*>(a);
+    const RmwRepeat* r = static_cast<const RmwRepeat*>(a);
     for (int i = 0; i < r->n; i++) r->fn(d, r->arg);
   };
+
+  if (cfg_.protocol == Protocol::kSilo) {
+    for (size_t i = 0; i < batch_.size();) {
+      const uint64_t key = batch_[i].key;
+      int run = 1;
+      while (i + run < batch_.size() && batch_[i + run].key == key) run++;
+      i += static_cast<size_t>(run);
+      Row* row = index->Get(key);
+      if (row == nullptr) return FailAttempt();
+      RC rc;
+      if (run == 1) {
+        rc = UpdateRmwRow(row, fn, arg);
+      } else {
+        RmwRepeat rep{fn, arg, run};  // scalar path resolves before returning
+        rc = UpdateRmwRow(row, repeat_fn, &rep);
+      }
+      if (rc != RC::kOk) return rc;
+    }
+    return RC::kOk;
+  }
+
+  // Pass 1 (key order): dedup hits go through the scalar path (own-write
+  // application or SH->EX upgrade -- upgrades never enter SubmitMany); new
+  // rows are staged for the sharded batch. rmw_reps_ must not reallocate
+  // once an entry's address is handed to a request: a promoting thread may
+  // apply the coalesced RMW while this worker parks on another key.
+  pend_.clear();
+  rmw_reps_.clear();
+  rmw_reps_.reserve(static_cast<size_t>(n));
+  int uniq = 0;
   for (size_t i = 0; i < batch_.size();) {
     const uint64_t key = batch_[i].key;
     int run = 1;
@@ -399,16 +453,112 @@ RC TxnHandle::UpdateRmwMany(HashIndex* index, const uint64_t* keys, int n,
     i += static_cast<size_t>(run);
     Row* row = index->Get(key);
     if (row == nullptr) return FailAttempt();
-    RC rc;
-    if (run == 1) {
-      rc = UpdateRmwRow(row, fn, arg);
-    } else {
-      RepeatArg rep{fn, arg, run};
-      rc = UpdateRmwRow(row, repeat_fn, &rep);
+    if (FindAccess(row) != nullptr) {
+      RC rc;
+      if (run == 1) {
+        rc = UpdateRmwRow(row, fn, arg);
+      } else {
+        RmwRepeat rep{fn, arg, run};  // scalar path resolves before returning
+        rc = UpdateRmwRow(row, repeat_fn, &rep);
+      }
+      if (rc != RC::kOk) return rc;
+      continue;
     }
-    if (rc != RC::kOk) return rc;
+    txn_->ops_done++;
+    PendKey p{row, lm_->ShardIndexOf(row), uniq++, /*buf=*/nullptr, fn, arg,
+              cfg_.protocol == Protocol::kBamboo && !TailWrite()};
+    if (run > 1) {
+      rmw_reps_.push_back({fn, arg, run});
+      p.fn = repeat_fn;
+      p.arg = &rmw_reps_.back();
+    }
+    pend_.push_back(p);
+  }
+  return SubmitPending(LockType::kEX);
+}
+
+RC TxnHandle::SubmitPending(LockType type) {
+  const int total = static_cast<int>(pend_.size());
+  if (total == 0) return RC::kOk;
+  // (shard, key) order: the shard hash scatters adjacent keys, so key
+  // order alone would yield length-1 shard runs; sorting by shard first
+  // makes runs maximal, while `uniq` (which rises with the key) keeps the
+  // within-shard order deterministic across transactions -- two batches
+  // over the same keys still acquire in one consistent order.
+  std::sort(pend_.begin(), pend_.end(),
+            [](const PendKey& a, const PendKey& b) {
+              return a.shard != b.shard ? a.shard < b.shard : a.uniq < b.uniq;
+            });
+  pend_reqs_.clear();
+  for (const PendKey& p : pend_) {
+    AccessRequest req;
+    req.row = p.row;
+    req.type = type;
+    req.read_buf = p.buf;
+    req.rmw_fn = p.fn;
+    req.rmw_arg = p.arg;
+    req.retire_now = p.retire_now;
+    req.shard = p.shard;
+    pend_reqs_.push_back(req);
+  }
+  pend_grants_.clear();
+  pend_grants_.resize(static_cast<size_t>(total));
+  int done = 0;
+  while (done < total) {
+    int m = lm_->SubmitMany(pend_reqs_.data() + done, total - done, txn_,
+                            pend_grants_.data() + done);
+    // Only the last of the m grants can be kWait/kAbort (SubmitMany stops
+    // there); the loop handles the general shape anyway.
+    for (int j = done; j < done + m; j++) {
+      const AccessGrant& g = pend_grants_[static_cast<size_t>(j)];
+      const PendKey& p = pend_[static_cast<size_t>(j)];
+      if (g.rc == AcqResult::kGranted) {
+        AccState st = !g.took_lock
+                          ? AccState::kSnapshot
+                          : (g.retired ? AccState::kRetired : AccState::kOwner);
+        char* data = type == LockType::kEX ? g.write_data : p.buf;
+        accesses_.push_back({p.row, type, st, data, g.token});
+        NoteAccess(p.row);
+      } else if (g.rc == AcqResult::kWait) {
+        accesses_.push_back({p.row, type, AccState::kWaiting,
+                             type == LockType::kEX ? nullptr : p.buf, g.token});
+        NoteAccess(p.row);
+        uint64_t waited = WaitForLock(p.row);
+        if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
+        AccessGrant rg =
+            lm_->Resume(pend_reqs_[static_cast<size_t>(j)], txn_, g.token);
+        if (rg.rc != AcqResult::kGranted) return FailAttempt();
+        accesses_.back().state =
+            rg.retired ? AccState::kRetired : AccState::kOwner;
+        if (type == LockType::kEX) accesses_.back().data = rg.write_data;
+      } else {
+        return FailAttempt();
+      }
+    }
+    done += m;
   }
   return RC::kOk;
+}
+
+int TxnHandle::ReleaseAll(bool committed) {
+  rel_ops_.clear();
+  for (const Access& a : accesses_) {
+    if (a.state == AccState::kSnapshot) continue;
+    rel_ops_.push_back({a.row, a.token, lm_->ShardIndexOf(a.row)});
+  }
+  const int n = static_cast<int>(rel_ops_.size());
+  if (n == 0) return 0;
+  // Shard-sort so ReleaseMany takes one latch hold per shard run. Releases
+  // are per-row independent and the outcome (commit point or abort) is
+  // already decided, so reordering across rows is free. The shard index is
+  // hashed once per op above; comparing the cached int keeps the sort from
+  // rehashing every comparison (which dominates exactly when the shard
+  // values scatter, i.e. in the sharded configurations).
+  std::sort(rel_ops_.begin(), rel_ops_.end(),
+            [](const ReleaseOp& x, const ReleaseOp& y) {
+              return x.shard < y.shard;
+            });
+  return lm_->ReleaseMany(rel_ops_.data(), n, committed);
 }
 
 bool TxnHandle::TailWrite() const {
@@ -435,11 +585,7 @@ void TxnHandle::WriteDone() {
 
 void TxnHandle::Rollback() {
   txn_->status.store(TxnStatus::kAborted, std::memory_order_release);
-  int wounded = 0;
-  for (const Access& a : accesses_) {
-    if (a.state == AccState::kSnapshot) continue;
-    wounded += lm_->Release(a.row, a.token, /*committed=*/false);
-  }
+  int wounded = ReleaseAll(/*committed=*/false);
   accesses_.clear();
   if (txn_->stats != nullptr) {
     if (txn_->abort_was_cascade.load(std::memory_order_relaxed)) {
@@ -513,7 +659,22 @@ RC TxnHandle::Commit(RC user_rc) {
     // commit waits are short; futex-sleep as the fallback.
     uint64_t t0 = NowNs();
     for (int i = 0; i < 4096 && !drained(); i++) std::this_thread::yield();
+#ifdef BAMBOO_DEBUG_STUCK
+    while (!drained()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (NowNs() - t0 > 5000000000ull) {
+        std::fprintf(stderr,
+                     "STUCK-COMMIT txn=%p ts=%llu sem=%lld taken=%d footprint:\n",
+                     (void*)txn_, (unsigned long long)txn_->ts.load(),
+                     (long long)txn_->commit_semaphore.load(),
+                     txn_->deps_taken);
+        for (const Access& a : accesses_) lm_->DebugDumpRow(a.row);
+        t0 = NowNs();
+      }
+    }
+#else
     if (!drained()) txn_->WaitFor(drained);
+#endif
     if (txn_->stats != nullptr) txn_->stats->commit_wait_ns += NowNs() - t0;
   }
 
@@ -536,10 +697,7 @@ RC TxnHandle::Commit(RC user_rc) {
     db_->cc()->StampCommit(txn_);
   }
   LogCommitRecords();
-  for (const Access& a : accesses_) {
-    if (a.state == AccState::kSnapshot) continue;
-    lm_->Release(a.row, a.token, /*committed=*/true);
-  }
+  ReleaseAll(/*committed=*/true);
   accesses_.clear();
   return RC::kOk;
 }
@@ -593,11 +751,7 @@ void TxnHandle::CompleteDetached() {
     // Wounded while detached: finish the rollback on its behalf.
     txn_->status.store(TxnStatus::kAborted, std::memory_order_release);
   }
-  int wounded = 0;
-  for (const Access& a : accesses_) {
-    if (a.state == AccState::kSnapshot) continue;
-    wounded += lm_->Release(a.row, a.token, committed);
-  }
+  int wounded = ReleaseAll(committed);
   accesses_.clear();
   // Publish the outcome last; the origin worker reclaims the slot and does
   // the stats accounting (this may be a foreign thread, so it must not

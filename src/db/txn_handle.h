@@ -171,6 +171,33 @@ class TxnHandle {
     int idx;
   };
 
+  /// One not-yet-submitted row of a multi-key batch (new rows only;
+  /// dedup hits resolve through the scalar paths during the build pass).
+  /// Carries the routing shard so the batch can be sorted into maximal
+  /// same-shard runs for LockManager::SubmitMany, and `uniq` -- the
+  /// element's rank in key order -- as the deterministic tie-break within
+  /// a shard (equal keys never appear twice here).
+  struct PendKey {
+    Row* row;
+    uint32_t shard;
+    int uniq;
+    char* buf;  ///< SH read buffer; null for EX
+    RmwFn fn;
+    void* arg;
+    bool retire_now;
+  };
+
+  /// Duplicate-key coalescing: one grant applies `fn(.., arg)` `n` times.
+  /// Batch entries point at retained member storage (rmw_reps_) because a
+  /// promoting thread may apply the RMW while this worker is parked on an
+  /// earlier key of the same batch -- the argument must stay at a stable
+  /// address until the whole batch resolves.
+  struct RmwRepeat {
+    RmwFn fn;
+    void* arg;
+    int n;
+  };
+
   void MaybeReset();
   char* ArenaAlloc(uint32_t size);
   void Rollback();
@@ -193,6 +220,14 @@ class TxnHandle {
   RC UpdateRmwRow(Row* row, RmwFn fn, void* arg);
   /// Upgrade an existing SH access to EX (in place, via its token).
   RC UpgradeAccess(Access* a, RmwFn fn, void* arg, char** data_out);
+  /// Sort `pend_` into (shard, key) order and drive it through
+  /// LockManager::SubmitMany: one latch hold per same-shard run, parking
+  /// on kWait grants and recording every access. Fails the attempt on the
+  /// first abort.
+  RC SubmitPending(LockType type);
+  /// Release every lock-holding access through ReleaseMany (shard-sorted,
+  /// one latch hold per run). Returns dependents wounded.
+  int ReleaseAll(bool committed);
 
   /// Finish a detached commit (or its cascade abort) on whatever thread
   /// claimed it. Must not touch the origin worker's ThreadStats; the
@@ -226,6 +261,14 @@ class TxnHandle {
   RowSet seen_rows_;
   bool use_row_set_ = false;
   std::vector<BatchKey> batch_;  ///< sort scratch for the multi-key APIs
+  // Batch-submission scratch (retained across attempts, so the multi-key
+  // APIs stay allocation-free after warmup).
+  std::vector<PendKey> pend_;
+  std::vector<AccessRequest> pend_reqs_;
+  std::vector<AccessGrant> pend_grants_;
+  std::vector<const char*> uniq_data_;  ///< per distinct key, in key order
+  std::vector<RmwRepeat> rmw_reps_;     ///< stable homes for coalesced RMWs
+  std::vector<ReleaseOp> rel_ops_;      ///< batch-release scratch
   std::vector<Wal::WriteRef> wal_writes_;  ///< commit-logging scratch
   std::vector<SiloRead> silo_reads_;
   std::vector<SiloWrite> silo_writes_;

@@ -268,6 +268,13 @@ RunResult LoadAndRun(const Config& cfg, Workload* workload) {
 
   SharedState shared;
   int n = cfg.num_threads > 0 ? cfg.num_threads : 1;
+  // Latch spin budget: spinning only pays when the latch holder is live on
+  // another core. With more workers than cores a contended thread should
+  // park immediately -- its spin occupies the core the preempted holder
+  // needs. Reset per run so thread-count sweeps retune as they go.
+  unsigned hw = std::thread::hardware_concurrency();
+  SpinLatch::SetMaxSpinRounds(
+      hw != 0 && static_cast<unsigned>(n) > hw ? 0 : SpinLatch::kSpinRounds);
   // WorkerCtx outlives every worker thread (freed after the joins below):
   // detached-commit completers may touch another worker's slots and wake
   // word right up until they return.

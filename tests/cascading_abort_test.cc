@@ -97,7 +97,10 @@ void TestCommitDependenciesDrainInOrder() {
   AccessGrant g3 = Acquire(&lm, &row, &r, LockType::kSH, buf);
   CHECK(g3.rc == AcqResult::kGranted);
   CHECK_EQ(*reinterpret_cast<uint64_t*>(buf), 2u);  // newest dirty version
-  CHECK_EQ(r.commit_semaphore.load(), 2);  // one edge per conflicting writer
+  // One edge only: W2 is a held-EX conflict, and its own barrier on W1
+  // (asserted above) makes the W1 ordering transitive -- the cutoff stops
+  // the walk there instead of registering O(chain) edges.
+  CHECK_EQ(r.commit_semaphore.load(), 1);
 
   // Commits drain in timestamp (= retired list) order: W1 first.
   w1.status.store(TxnStatus::kCommitted);
@@ -115,6 +118,98 @@ void TestCommitDependenciesDrainInOrder() {
   std::memcpy(&base2, row.base(), 8);
   CHECK_EQ(base2, 2u);
   lm.Release(&row, g3.token, true);
+}
+
+/// The transitive-cutoff rule of RegisterBarrier, pinned deterministically:
+/// retired readers are mutually unordered, so a writer behind several of
+/// them needs one edge per reader -- but everything older than the newest
+/// held-EX conflict is covered by that entry's own barriers, so the walk
+/// stops there and a deep write chain registers O(1) edges per grant.
+void TestBarrierCutoffAtNewestExConflict() {
+  Config cfg;
+  cfg.protocol = Protocol::kBamboo;
+  cfg.bb_opt_raw_read = false;  // force dirty reads through the lock table
+  std::atomic<uint64_t> ts{0};
+  std::atomic<uint64_t> cts{1};
+  LockManager lm(cfg, &ts, &cts);
+  char buf[8];
+
+  // Two retired readers, no writer: a new writer must barrier on both --
+  // neither reader orders the other, so no cutoff applies between them.
+  {
+    Row row(8);
+    TxnCB r1, r2, w3;
+    ThreadStats s1, s2, s3;
+    r1.stats = &s1;
+    r2.stats = &s2;
+    w3.stats = &s3;
+    r1.ts.store(1);
+    r2.ts.store(2);
+    w3.ts.store(3);
+    AccessGrant gr1 = Acquire(&lm, &row, &r1, LockType::kSH, buf);
+    AccessGrant gr2 = Acquire(&lm, &row, &r2, LockType::kSH, buf);
+    CHECK(gr1.rc == AcqResult::kGranted);
+    CHECK(gr2.rc == AcqResult::kGranted);
+    CHECK_EQ(lm.RetiredCount(&row), 2u);  // Opt 1: reads retire on grant
+    AccessGrant gw3 = Acquire(&lm, &row, &w3, LockType::kEX, buf);
+    CHECK(gw3.rc == AcqResult::kGranted);
+    CHECK_EQ(w3.commit_semaphore.load(), 2);  // one edge per retired reader
+    r1.status.store(TxnStatus::kCommitted);
+    r2.status.store(TxnStatus::kCommitted);
+    lm.Release(&row, gr1.token, true);
+    lm.Release(&row, gr2.token, true);
+    CHECK_EQ(w3.commit_semaphore.load(), 0);
+    w3.status.store(TxnStatus::kCommitted);
+    lm.Release(&row, gw3.token, true);
+  }
+
+  // Chain [W1(EX), R2(SH)]: the next writer barriers on the reader and on
+  // W1 (walk reaches the EX and stops *after* taking that edge); a fourth
+  // writer behind [.., W3(EX)] then needs exactly one edge -- the cutoff.
+  {
+    Row row(8);
+    TxnCB w1, r2, w3, w4;
+    ThreadStats s1, s2, s3, s4;
+    w1.stats = &s1;
+    r2.stats = &s2;
+    w3.stats = &s3;
+    w4.stats = &s4;
+    w1.ts.store(1);
+    r2.ts.store(2);
+    w3.ts.store(3);
+    w4.ts.store(4);
+    AccessGrant gw1 = Acquire(&lm, &row, &w1, LockType::kEX, buf);
+    CHECK(gw1.rc == AcqResult::kGranted);
+    std::memset(gw1.write_data, 0x11, 8);
+    lm.Retire(&row, gw1.token);
+    AccessGrant gr2 = Acquire(&lm, &row, &r2, LockType::kSH, buf);
+    CHECK(gr2.rc == AcqResult::kGranted);
+    CHECK(gr2.dirty);
+    CHECK_EQ(r2.commit_semaphore.load(), 1);  // behind W1
+    AccessGrant gw3 = Acquire(&lm, &row, &w3, LockType::kEX, buf);
+    CHECK(gw3.rc == AcqResult::kGranted);
+    CHECK_EQ(w3.commit_semaphore.load(), 2);  // R2, then W1 cuts off
+    std::memset(gw3.write_data, 0x33, 8);
+    lm.Retire(&row, gw3.token);
+    AccessGrant gw4 = Acquire(&lm, &row, &w4, LockType::kEX, buf);
+    CHECK(gw4.rc == AcqResult::kGranted);
+    CHECK_EQ(w4.commit_semaphore.load(), 1);  // W3 alone covers the chain
+
+    // Drains still arrive in chain order through the transitive edges.
+    w1.status.store(TxnStatus::kCommitted);
+    lm.Release(&row, gw1.token, true);
+    CHECK_EQ(r2.commit_semaphore.load(), 0);
+    CHECK_EQ(w3.commit_semaphore.load(), 1);  // still pinned behind R2
+    CHECK_EQ(w4.commit_semaphore.load(), 1);
+    r2.status.store(TxnStatus::kCommitted);
+    lm.Release(&row, gr2.token, true);
+    CHECK_EQ(w3.commit_semaphore.load(), 0);
+    w3.status.store(TxnStatus::kCommitted);
+    lm.Release(&row, gw3.token, true);
+    CHECK_EQ(w4.commit_semaphore.load(), 0);
+    w4.status.store(TxnStatus::kCommitted);
+    lm.Release(&row, gw4.token, true);
+  }
 }
 
 // --- 4-thread serializability stress test ---------------------------------
@@ -553,6 +648,7 @@ int main() {
   using namespace bamboo;
   RUN_TEST(TestRetiredWriterAbortCascades);
   RUN_TEST(TestCommitDependenciesDrainInOrder);
+  RUN_TEST(TestBarrierCutoffAtNewestExConflict);
   RUN_TEST(TestRawReadCrossRowSnapshotForbidsAnomaly);
   RUN_TEST(TestRawReadServesConsistentSnapshot);
   RUN_TEST(TestRawReadMakesTransactionReadOnly);

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <thread>
 
 #include "src/db/database.h"
 #include "src/db/lock_table.h"
@@ -24,6 +25,14 @@
 namespace {
 std::atomic<uint64_t> g_allocs{0};
 }  // namespace
+
+// GCC inlines the sized delete (visible free()) into constructor-throw
+// cleanups while leaving the replaced counting new uninlined, then flags
+// the pair as mismatched. Every overload here routes through malloc /
+// posix_memalign and free, so the pairing is correct.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 
 void* operator new(std::size_t n) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
@@ -370,6 +379,10 @@ void TestZeroAllocLongScanThroughHandle() {
   constexpr uint64_t kRows = 1000;
   Config cfg;
   cfg.protocol = Protocol::kBamboo;
+  // Pin a sharded table so the 1000-key ReadMany crosses shards: the batch
+  // path's run splitting, per-run reservation, and shard-sorted release
+  // must all stay inside the zero-allocation guarantee.
+  cfg.lock_shards = 16;
   cfg.num_threads = 1;
   Database db(cfg);
   Schema schema;
@@ -422,6 +435,79 @@ void TestZeroAllocLongScanThroughHandle() {
   CHECK_EQ(delta, 0u);
 }
 
+/// The shard latch counters and the per-thread ThreadStats are two books
+/// of the same contention events, written together by ShardGuard. With
+/// detached (pipelined) commits in the mix -- where a foreign thread
+/// performs the release on the owner's behalf -- the totals must still
+/// agree exactly: a release charged to the wrong stats object, or charged
+/// twice, breaks the equality.
+void TestShardStatsAggregation() {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  Config cfg;
+  cfg.protocol = Protocol::kBamboo;
+  cfg.lock_shards = 16;
+  cfg.num_threads = kThreads;
+  Database db(cfg);
+  Schema schema;
+  schema.AddColumn("v", 8);
+  Table* table = db.catalog()->CreateTable("t", schema);
+  HashIndex* index = db.catalog()->CreateIndex("t_pk", 32);
+  for (uint64_t k = 0; k < 16; k++) db.LoadRow(table, index, k);
+
+  static ThreadStats stats[kThreads];
+  RmwFn bump = [](char* d, void*) {
+    uint64_t v;
+    std::memcpy(&v, d, 8);
+    v++;
+    std::memcpy(d, &v, 8);
+  };
+  std::thread threads[kThreads];
+  for (int t = 0; t < kThreads; t++) {
+    threads[t] = std::thread([&, t] {
+      TxnCB cb;
+      cb.stats = &stats[t];
+      std::atomic<uint32_t> wake{0};
+      cb.owner_wake = &wake;
+      TxnHandle h(&db, &cb);
+      // One worker pipelines its commits: the release then runs on
+      // whichever thread drains its barrier, exercising the detached
+      // charge-to-executing-thread path.
+      h.SetDetachAllowed(t == 0);
+      for (int i = 0; i < kIters; i++) {
+        cb.txn_seq.fetch_add(1, std::memory_order_relaxed);
+        cb.ResetForAttempt(false);
+        db.cc()->Begin(&cb);
+        cb.planned_ops = 2;
+        RC rc = h.UpdateRmw(index, 0, bump, nullptr);  // hotspot
+        if (rc == RC::kOk) {
+          const char* d = nullptr;
+          rc = h.Read(index, 1 + static_cast<uint64_t>(i) % 15, &d);
+        }
+        rc = h.Commit(rc == RC::kOk ? RC::kOk : RC::kAbort);
+        if (rc == RC::kPending) {
+          // The TxnCB is on loan to the completer until it publishes the
+          // outcome; only then may the next attempt reset it.
+          while (cb.detach_state.load(std::memory_order_acquire) == 1u) {
+            std::this_thread::yield();
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  uint64_t shard_spins = 0, shard_waits = 0;
+  db.cc()->locks()->ShardLatchTotals(&shard_spins, &shard_waits);
+  uint64_t stat_spins = 0, stat_waits = 0;
+  for (const ThreadStats& s : stats) {
+    stat_spins += s.latch_spins;
+    stat_waits += s.latch_waits;
+  }
+  CHECK_EQ(shard_spins, stat_spins);
+  CHECK_EQ(shard_waits, stat_waits);
+}
+
 }  // namespace
 }  // namespace bamboo
 
@@ -433,5 +519,6 @@ int main() {
   RUN_TEST(TestDependentsSpillRoundTrip);
   RUN_TEST(TestZeroAllocAfterWarmup);
   RUN_TEST(TestZeroAllocLongScanThroughHandle);
+  RUN_TEST(TestShardStatsAggregation);
   return bamboo::test::Summary("req_pool_test");
 }

@@ -1,0 +1,289 @@
+// Deterministic coverage for the sharded lock table's routing and batch
+// machinery: the key->shard hash is a pure function of the row's stable
+// identity (config-independent, so two managers over the same data agree),
+// shard counts round to powers of two, batch submission splits into runs
+// exactly at shard boundaries, the empty/singleton/all-same-shard batch
+// shapes behave, and an SH->EX upgrade inside a batch (resolved through the
+// scalar path, never entering SubmitMany) keeps the batch sound.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/db/txn_handle.h"
+#include "src/storage/row.h"
+#include "tests/test_util.h"
+
+namespace bamboo {
+namespace {
+
+void Bump(char* d, void*) {
+  uint64_t v;
+  std::memcpy(&v, d, 8);
+  v++;
+  std::memcpy(d, &v, 8);
+}
+
+uint64_t ReadCounter(const char* d) {
+  uint64_t v;
+  std::memcpy(&v, d, 8);
+  return v;
+}
+
+/// One transaction driver following the runner's per-attempt protocol.
+struct Actor {
+  TxnCB cb;
+  ThreadStats stats;
+  TxnHandle h;
+  explicit Actor(Database* db) : h(db, &cb) { cb.stats = &stats; }
+  void Begin(Database* db) {
+    cb.txn_seq.fetch_add(1, std::memory_order_relaxed);
+    cb.ResetForAttempt(/*keep_ts=*/false);
+    db->cc()->Begin(&cb);
+  }
+};
+
+struct Fixture {
+  explicit Fixture(int shards, Protocol p = Protocol::kBamboo) {
+    cfg.protocol = p;
+    cfg.lock_shards = shards;
+    db.reset(new Database(cfg));
+    Schema s;
+    s.AddColumn("val", 8);
+    Table* tbl = db->catalog()->CreateTable("t", s);
+    idx = db->catalog()->CreateIndex("t_pk", 256);
+    for (uint64_t k = 0; k < 128; k++) {
+      Row* r = db->LoadRow(tbl, idx, k);
+      std::memset(r->base(), 0, 8);
+    }
+  }
+  Config cfg;
+  std::unique_ptr<Database> db;
+  HashIndex* idx = nullptr;
+};
+
+/// The hash must not depend on the manager, the shard count, the protocol,
+/// or anything else mutable -- only on (table_id, key) -- and must spread
+/// consecutive keys instead of clustering them.
+void TestShardHashStableAndConfigIndependent() {
+  for (uint64_t k = 0; k < 64; k++) {
+    CHECK_EQ(LockManager::ShardHash(0, k), LockManager::ShardHash(0, k));
+    CHECK(LockManager::ShardHash(0, k) != LockManager::ShardHash(1, k));
+    CHECK(LockManager::ShardHash(0, k) != LockManager::ShardHash(0, k + 1));
+  }
+  // Two managers with different shard counts and protocols route by the
+  // same hash: their shard indexes are the hash masked by their own counts.
+  Fixture a(4, Protocol::kBamboo);
+  Fixture b(64, Protocol::kWoundWait);
+  LockManager* la = a.db->cc()->locks();
+  LockManager* lb = b.db->cc()->locks();
+  CHECK_EQ(la->shard_count(), 4u);
+  CHECK_EQ(lb->shard_count(), 64u);
+  for (uint64_t k = 0; k < 128; k++) {
+    Row* ra = a.idx->Get(k);
+    Row* rb = b.idx->Get(k);
+    uint64_t h = LockManager::ShardHash(ra->wal_table_id(), ra->wal_key());
+    CHECK_EQ(h, LockManager::ShardHash(rb->wal_table_id(), rb->wal_key()));
+    CHECK_EQ(la->ShardIndexOf(ra), static_cast<uint32_t>(h) & 3u);
+    CHECK_EQ(lb->ShardIndexOf(rb), static_cast<uint32_t>(h) & 63u);
+  }
+  // With a few shards and many keys, every shard must receive some keys
+  // (a degenerate hash would funnel everything into one).
+  std::vector<int> hits(4, 0);
+  for (uint64_t k = 0; k < 128; k++) hits[la->ShardIndexOf(a.idx->Get(k))]++;
+  for (int h : hits) CHECK(h > 0);
+}
+
+/// Shard counts round up to the next power of two and clamp the degenerate
+/// requests, since routing is a mask.
+void TestShardCountRounding() {
+  struct {
+    int requested;
+    uint32_t expect;
+  } cases[] = {{1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {1000, 1024},
+               {0, 1}, {-7, 1}};
+  for (const auto& c : cases) {
+    Fixture f(c.requested);
+    CHECK_EQ(f.db->cc()->locks()->shard_count(), c.expect);
+  }
+}
+
+/// Expected number of same-shard runs for a distinct key set under a
+/// manager: sort by (shard, key) -- the order SubmitPending uses -- and
+/// count shard transitions.
+int ExpectedRuns(LockManager* lm, HashIndex* idx,
+                 const std::vector<uint64_t>& keys) {
+  std::vector<std::pair<uint32_t, uint64_t>> sk;
+  for (uint64_t k : keys) sk.push_back({lm->ShardIndexOf(idx->Get(k)), k});
+  std::sort(sk.begin(), sk.end());
+  int runs = 0;
+  for (size_t i = 0; i < sk.size(); i++) {
+    if (i == 0 || sk[i].first != sk[i - 1].first) runs++;
+  }
+  return runs;
+}
+
+/// Batch submission takes one latch hold per same-shard run: the
+/// batch_runs/batch_keys counters must replicate the (shard, key) grouping
+/// computed independently here, for both the read and the RMW batch.
+void TestBatchRunSplitting() {
+  Fixture f(4);
+  LockManager* lm = f.db->cc()->locks();
+  Actor a(f.db.get());
+
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 32; k++) keys.push_back(k * 3 % 97);
+  const char* data_out[32];
+
+  a.Begin(f.db.get());
+  uint64_t runs0 = a.stats.batch_runs;
+  CHECK(a.h.ReadMany(f.idx, keys.data(), 32, data_out) == RC::kOk);
+  CHECK_EQ(a.stats.batch_runs - runs0,
+           static_cast<uint64_t>(ExpectedRuns(lm, f.idx, keys)));
+  CHECK_EQ(a.stats.batch_keys, 32u);
+  CHECK(a.h.Commit(RC::kOk) == RC::kOk);
+
+  // The RMW batch splits identically over the same keys.
+  a.Begin(f.db.get());
+  runs0 = a.stats.batch_runs;
+  uint64_t keys0 = a.stats.batch_keys;
+  CHECK(a.h.UpdateRmwMany(f.idx, keys.data(), 32, Bump, nullptr) == RC::kOk);
+  CHECK_EQ(a.stats.batch_runs - runs0,
+           static_cast<uint64_t>(ExpectedRuns(lm, f.idx, keys)));
+  CHECK_EQ(a.stats.batch_keys - keys0, 32u);
+  CHECK(a.h.Commit(RC::kOk) == RC::kOk);
+}
+
+/// Degenerate batch shapes: empty batches touch nothing, a singleton is one
+/// run of one key, duplicates coalesce into their distinct key, and with a
+/// single shard any batch is exactly one run.
+void TestBatchEdgeShapes() {
+  {
+    Fixture f(4);
+    Actor a(f.db.get());
+    a.Begin(f.db.get());
+    const char* data_out[8];
+    CHECK(a.h.ReadMany(f.idx, nullptr, 0, nullptr) == RC::kOk);
+    CHECK(a.h.UpdateRmwMany(f.idx, nullptr, 0, Bump, nullptr) == RC::kOk);
+    CHECK_EQ(a.stats.batch_runs, 0u);
+    CHECK_EQ(a.stats.batch_keys, 0u);
+
+    uint64_t one = 7;
+    CHECK(a.h.ReadMany(f.idx, &one, 1, data_out) == RC::kOk);
+    CHECK_EQ(a.stats.batch_runs, 1u);
+    CHECK_EQ(a.stats.batch_keys, 1u);
+
+    // Duplicates of one key: one submitted key, shared image.
+    uint64_t dups[4] = {9, 9, 9, 9};
+    CHECK(a.h.ReadMany(f.idx, dups, 4, data_out) == RC::kOk);
+    CHECK_EQ(a.stats.batch_runs, 2u);
+    CHECK_EQ(a.stats.batch_keys, 2u);
+    CHECK(data_out[0] == data_out[3]);
+    CHECK(a.h.Commit(RC::kOk) == RC::kOk);
+
+    // Duplicate RMW keys coalesce into one grant applying the fn per
+    // occurrence.
+    a.Begin(f.db.get());
+    uint64_t wdups[5] = {11, 12, 11, 11, 12};
+    CHECK(a.h.UpdateRmwMany(f.idx, wdups, 5, Bump, nullptr) == RC::kOk);
+    CHECK_EQ(a.stats.batch_keys, 4u);  // 2 distinct keys this batch
+    CHECK(a.h.Commit(RC::kOk) == RC::kOk);
+    a.Begin(f.db.get());
+    const char* d = nullptr;
+    CHECK(a.h.Read(f.idx, 11, &d) == RC::kOk);
+    CHECK_EQ(ReadCounter(d), 3u);
+    CHECK(a.h.Read(f.idx, 12, &d) == RC::kOk);
+    CHECK_EQ(ReadCounter(d), 2u);
+    CHECK(a.h.Commit(RC::kOk) == RC::kOk);
+  }
+  {
+    // All-same-shard: one shard makes every batch a single run.
+    Fixture f(1);
+    Actor a(f.db.get());
+    a.Begin(f.db.get());
+    uint64_t keys[16];
+    const char* data_out[16];
+    for (uint64_t k = 0; k < 16; k++) keys[k] = k * 5;
+    CHECK(a.h.ReadMany(f.idx, keys, 16, data_out) == RC::kOk);
+    CHECK_EQ(a.stats.batch_runs, 1u);
+    CHECK_EQ(a.stats.batch_keys, 16u);
+    CHECK(a.h.Commit(RC::kOk) == RC::kOk);
+  }
+}
+
+/// A key already read (SH) and then fed to UpdateRmwMany upgrades through
+/// the scalar SH->EX path while the rest of the batch goes through
+/// SubmitMany -- regardless of where the upgrade key falls relative to the
+/// run boundaries. The read stays continuously protected and every key's
+/// RMW applies exactly once.
+void TestUpgradeInBatch() {
+  Fixture f(4);
+  Actor a(f.db.get());
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 40; k < 52; k++) keys.push_back(k);
+
+  // Upgrade each candidate position once: first, middle, last in key order.
+  for (uint64_t up : {keys.front(), keys[keys.size() / 2], keys.back()}) {
+    a.Begin(f.db.get());
+    const char* d = nullptr;
+    CHECK(a.h.Read(f.idx, up, &d) == RC::kOk);
+    uint64_t before = ReadCounter(d);
+    uint64_t keys0 = a.stats.batch_keys;
+    CHECK(a.h.UpdateRmwMany(f.idx, keys.data(),
+                            static_cast<int>(keys.size()), Bump,
+                            nullptr) == RC::kOk);
+    // The upgrade key resolved through the scalar path: only the new keys
+    // entered the batch.
+    CHECK_EQ(a.stats.batch_keys - keys0, keys.size() - 1);
+    CHECK(a.h.Commit(RC::kOk) == RC::kOk);
+    a.Begin(f.db.get());
+    CHECK(a.h.Read(f.idx, up, &d) == RC::kOk);
+    CHECK_EQ(ReadCounter(d), before + 1);
+    CHECK(a.h.Commit(RC::kOk) == RC::kOk);
+  }
+
+  // Every key of the batch was bumped exactly 3 times across the 3 rounds,
+  // plus one extra for the keys that served as the upgrade target.
+  Actor b(f.db.get());
+  b.Begin(f.db.get());
+  for (uint64_t k : keys) {
+    const char* d = nullptr;
+    CHECK(b.h.Read(f.idx, k, &d) == RC::kOk);
+    CHECK(ReadCounter(d) >= 3u);
+  }
+  CHECK(b.h.Commit(RC::kOk) == RC::kOk);
+}
+
+/// The multi-key read returns images consistent with key identity even when
+/// the batch mixes dedup hits (rows read earlier in the attempt) and new
+/// rows: hits reuse the existing footprint, and every caller slot points at
+/// the right image.
+void TestBatchDedupAgainstFootprint() {
+  Fixture f(4);
+  Actor a(f.db.get());
+  a.Begin(f.db.get());
+  const char* first = nullptr;
+  CHECK(a.h.Read(f.idx, 20, &first) == RC::kOk);
+  uint64_t keys[6] = {22, 20, 21, 20, 23, 22};
+  const char* data_out[6];
+  uint64_t keys0 = a.stats.batch_keys;
+  CHECK(a.h.ReadMany(f.idx, keys, 6, data_out) == RC::kOk);
+  CHECK_EQ(a.stats.batch_keys - keys0, 3u);  // 20 was a hit; 21,22,23 new
+  CHECK(data_out[1] == first);  // dedup hit serves the existing image
+  CHECK(data_out[3] == first);
+  CHECK(data_out[0] == data_out[5]);
+  CHECK(a.h.Commit(RC::kOk) == RC::kOk);
+}
+
+}  // namespace
+}  // namespace bamboo
+
+int main() {
+  RUN_TEST(bamboo::TestShardHashStableAndConfigIndependent);
+  RUN_TEST(bamboo::TestShardCountRounding);
+  RUN_TEST(bamboo::TestBatchRunSplitting);
+  RUN_TEST(bamboo::TestBatchEdgeShapes);
+  RUN_TEST(bamboo::TestUpgradeInBatch);
+  RUN_TEST(bamboo::TestBatchDedupAgainstFootprint);
+  return bamboo::test::Summary("shard_routing_test");
+}

@@ -1,0 +1,303 @@
+// Randomized multi-threaded stress over the sharded lock table: 16 worker
+// threads drive a mixed workload of scalar reads/RMWs, ReadMany/
+// UpdateRmwMany batches (with duplicate keys), and read-then-write
+// upgrades against a 64-row table of counters, under all four lock
+// protocols and at both 1 and 16 shards. Two invariant checks:
+//
+//   1. Lost-update audit (every protocol): each row's final counter equals
+//      the sum of increments from *committed* transactions.
+//   2. Serializability audit (Bamboo): every committed writer records
+//      (commit_cts, per-key increment count, value after its increments);
+//      replaying the records in CTS order against a model must reproduce
+//      every observed value -- the version-chain order on every row has to
+//      agree with the global commit-timestamp order.
+//
+// Runs under TSan via scripts/run_sanitizers.sh (and the CI tsan job's
+// BB_LOCK_SHARDS matrix).
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/db/database.h"
+#include "src/db/txn_handle.h"
+#include "src/storage/row.h"
+#include "tests/test_util.h"
+
+namespace bamboo {
+namespace {
+
+constexpr int kThreads = 16;
+constexpr int kRows = 64;
+constexpr int kTxnsPerThread = 150;
+constexpr int kMaxAttempts = 5000;  // no-wait at 16 threads retries a lot
+
+void Bump(char* d, void*) {
+  uint64_t v;
+  std::memcpy(&v, d, 8);
+  v++;
+  std::memcpy(d, &v, 8);
+}
+
+struct WriteOp {
+  uint64_t key;
+  uint64_t n;            ///< increments applied to this key
+  uint64_t value_after;  ///< counter value after them (own-write read)
+};
+
+struct CommitRec {
+  uint64_t cts;
+  WriteOp writes[8];
+  int nwrites;
+};
+
+void AddWrite(WriteOp* writes, int* nwrites, uint64_t key) {
+  for (int i = 0; i < *nwrites; i++) {
+    if (writes[i].key == key) {
+      writes[i].n++;
+      return;
+    }
+  }
+  writes[*nwrites] = {key, 1, 0};
+  (*nwrites)++;
+}
+
+/// One randomized transaction body. The shape is a pure function of the
+/// rng stream, so a retry (same seed) replays the same operations.
+RC RunShape(TxnHandle* h, HashIndex* idx, Rng* rng, TxnCB* cb,
+            WriteOp* writes, int* nwrites) {
+  *nwrites = 0;
+  uint32_t shape = static_cast<uint32_t>(rng->Next() % 100);
+  if (shape < 30) {
+    // Scalar mix: two fused RMWs, two reads.
+    cb->planned_ops = 4;
+    for (int i = 0; i < 2; i++) {
+      uint64_t k = rng->Next() % kRows;
+      RC rc = h->UpdateRmw(idx, k, Bump, nullptr);
+      if (rc != RC::kOk) return rc;
+      AddWrite(writes, nwrites, k);
+    }
+    for (int i = 0; i < 2; i++) {
+      const char* d = nullptr;
+      RC rc = h->Read(idx, rng->Next() % kRows, &d);
+      if (rc != RC::kOk) return rc;
+    }
+    return RC::kOk;
+  }
+  if (shape < 55) {
+    // Batch RMW on 4 keys, duplicates possible (coalesced by the handle).
+    cb->planned_ops = 4;
+    uint64_t keys[4];
+    for (int i = 0; i < 4; i++) keys[i] = rng->Next() % kRows;
+    RC rc = h->UpdateRmwMany(idx, keys, 4, Bump, nullptr);
+    if (rc != RC::kOk) return rc;
+    for (int i = 0; i < 4; i++) AddWrite(writes, nwrites, keys[i]);
+    return RC::kOk;
+  }
+  if (shape < 80) {
+    // Batch read of 8 keys, duplicates possible; read-only.
+    cb->planned_ops = 8;
+    uint64_t keys[8];
+    const char* data[8];
+    for (int i = 0; i < 8; i++) keys[i] = rng->Next() % kRows;
+    return h->ReadMany(idx, keys, 8, data);
+  }
+  // Read-then-write: the read key recurs in the batch, forcing an SH->EX
+  // upgrade through the scalar path while the rest goes through SubmitMany.
+  cb->planned_ops = 5;
+  uint64_t up = rng->Next() % kRows;
+  const char* d = nullptr;
+  RC rc = h->Read(idx, up, &d);
+  if (rc != RC::kOk) return rc;
+  uint64_t keys[4];
+  keys[0] = up;
+  for (int i = 1; i < 4; i++) keys[i] = rng->Next() % kRows;
+  rc = h->UpdateRmwMany(idx, keys, 4, Bump, nullptr);
+  if (rc != RC::kOk) return rc;
+  for (int i = 0; i < 4; i++) AddWrite(writes, nwrites, keys[i]);
+  return RC::kOk;
+}
+
+struct WorkerResult {
+  uint64_t incr[kRows] = {};
+  std::vector<CommitRec> audit;
+  uint64_t commits = 0;
+  uint64_t giveups = 0;
+  ThreadStats stats;
+};
+
+void Worker(Database* db, HashIndex* idx, int tid, bool record_audit,
+            WorkerResult* out) {
+  TxnCB cb;
+  cb.stats = &out->stats;
+  TxnHandle h(db, &cb);
+  Rng seed_rng(0x5eed0000u + static_cast<uint64_t>(tid));
+  for (int t = 0; t < kTxnsPerThread; t++) {
+    uint64_t seed = seed_rng.Next();
+    bool committed = false;
+    for (int attempt = 0; attempt < kMaxAttempts && !committed; attempt++) {
+      if (attempt > 0) {
+        // Capped exponential backoff: no-wait's retry storms livelock a
+        // 16-thread box without it, and the cap keeps wound-wait's oldest
+        // transaction from stalling behind sleepy peers for long.
+        if (attempt < 4) {
+          std::this_thread::yield();
+        } else {
+          int e = attempt < 10 ? attempt - 3 : 7;
+          std::this_thread::sleep_for(std::chrono::microseconds(1 << e));
+        }
+      }
+      cb.txn_seq.fetch_add(1, std::memory_order_relaxed);
+      // Retries keep their timestamp (anti-starvation), like the runner.
+      cb.ResetForAttempt(/*keep_ts=*/attempt > 0);
+      db->cc()->Begin(&cb);
+      Rng rng(seed);
+      WriteOp writes[8];
+      int nwrites = 0;
+      RC rc = RunShape(&h, idx, &rng, &cb, writes, &nwrites);
+      if (rc == RC::kOk) {
+        // Capture each written counter's post-image through read-own-write
+        // (served from the footprint, so it cannot fail or block).
+        for (int i = 0; i < nwrites; i++) {
+          const char* d = nullptr;
+          if (h.Read(idx, writes[i].key, &d) != RC::kOk) {
+            rc = RC::kAbort;
+            break;
+          }
+          std::memcpy(&writes[i].value_after, d, 8);
+        }
+      }
+      rc = h.Commit(rc == RC::kOk ? RC::kOk : RC::kAbort);
+      if (rc != RC::kOk) continue;
+      committed = true;
+      out->commits++;
+      for (int i = 0; i < nwrites; i++) {
+        out->incr[writes[i].key] += writes[i].n;
+      }
+      if (record_audit && nwrites > 0) {
+        CommitRec rec;
+        rec.cts = cb.commit_cts.load(std::memory_order_relaxed);
+        std::memcpy(rec.writes, writes, sizeof(writes));
+        rec.nwrites = nwrites;
+        out->audit.push_back(rec);
+      }
+    }
+    if (!committed) {
+      out->giveups++;
+      Rng probe(seed);
+      std::fprintf(stderr, "  [giveup] tid=%d t=%d shape=%u\n", tid, t,
+                   static_cast<unsigned>(probe.Next() % 100));
+    }
+  }
+}
+
+void StressOne(Protocol proto, int shards) {
+  Config cfg;
+  cfg.protocol = proto;
+  cfg.lock_shards = shards;
+  cfg.num_threads = kThreads;
+  Database db(cfg);
+  Schema s;
+  s.AddColumn("val", 8);
+  Table* tbl = db.catalog()->CreateTable("t", s);
+  HashIndex* idx = db.catalog()->CreateIndex("t_pk", kRows * 2);
+  for (uint64_t k = 0; k < kRows; k++) {
+    std::memset(db.LoadRow(tbl, idx, k)->base(), 0, 8);
+  }
+  CHECK_EQ(db.cc()->locks()->shard_count(), static_cast<uint32_t>(shards));
+
+  // Bamboo draws commit timestamps (raw reads are on by default), so the
+  // CTS-order serializability audit applies there.
+  const bool record_audit = proto == Protocol::kBamboo;
+  std::vector<WorkerResult> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back(Worker, &db, idx, t, record_audit, &results[t]);
+  }
+  for (auto& th : threads) th.join();
+
+  // Invariant 1: no lost updates. Every row's final counter is exactly the
+  // committed increment sum.
+  uint64_t total_commits = 0;
+  uint64_t total_giveups = 0;
+  for (uint64_t k = 0; k < kRows; k++) {
+    uint64_t expect = 0;
+    for (const WorkerResult& r : results) expect += r.incr[k];
+    uint64_t got;
+    std::memcpy(&got, idx->Get(k)->base(), 8);
+    CHECK_EQ(got, expect);
+  }
+  for (const WorkerResult& r : results) {
+    total_commits += r.commits;
+    total_giveups += r.giveups;
+  }
+  // Forward progress: the vast majority of transactions must commit (the
+  // attempt cap is generous even for no-wait's retry storms).
+  std::fprintf(stderr, "  [stress] commits=%llu giveups=%llu\n",
+               (unsigned long long)total_commits,
+               (unsigned long long)total_giveups);
+  CHECK(total_commits + total_giveups ==
+        static_cast<uint64_t>(kThreads) * kTxnsPerThread);
+  CHECK(total_commits >= static_cast<uint64_t>(kThreads) * kTxnsPerThread -
+                             kThreads);
+
+  // Shard-counter bookkeeping: the shard latch counters mirror exactly
+  // what was charged to the workers' ThreadStats.
+  uint64_t shard_spins = 0, shard_waits = 0;
+  db.cc()->locks()->ShardLatchTotals(&shard_spins, &shard_waits);
+  uint64_t stat_spins = 0, stat_waits = 0;
+  for (const WorkerResult& r : results) {
+    stat_spins += r.stats.latch_spins;
+    stat_waits += r.stats.latch_waits;
+  }
+  CHECK_EQ(shard_spins, stat_spins);
+  CHECK_EQ(shard_waits, stat_waits);
+
+  // Invariant 2 (Bamboo): committed writers replay consistently in CTS
+  // order -- per-row version-chain order agrees with the global commit
+  // order, and no increment is duplicated or dropped along the way.
+  if (record_audit) {
+    std::vector<CommitRec> all;
+    for (WorkerResult& r : results) {
+      all.insert(all.end(), r.audit.begin(), r.audit.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const CommitRec& a, const CommitRec& b) {
+                return a.cts < b.cts;
+              });
+    for (size_t i = 0; i + 1 < all.size(); i++) {
+      CHECK(all[i].cts != all[i + 1].cts);  // stamps are unique
+    }
+    uint64_t model[kRows] = {};
+    for (const CommitRec& rec : all) {
+      CHECK(rec.cts != 0u);
+      for (int i = 0; i < rec.nwrites; i++) {
+        const WriteOp& w = rec.writes[i];
+        model[w.key] += w.n;
+        CHECK_EQ(w.value_after, model[w.key]);
+      }
+    }
+  }
+}
+
+void TestBamboo1Shard() { StressOne(Protocol::kBamboo, 1); }
+void TestBamboo16Shards() { StressOne(Protocol::kBamboo, 16); }
+void TestWoundWait1Shard() { StressOne(Protocol::kWoundWait, 1); }
+void TestWoundWait16Shards() { StressOne(Protocol::kWoundWait, 16); }
+void TestWaitDie16Shards() { StressOne(Protocol::kWaitDie, 16); }
+void TestNoWait16Shards() { StressOne(Protocol::kNoWait, 16); }
+
+}  // namespace
+}  // namespace bamboo
+
+int main() {
+  RUN_TEST(bamboo::TestBamboo1Shard);
+  RUN_TEST(bamboo::TestBamboo16Shards);
+  RUN_TEST(bamboo::TestWoundWait1Shard);
+  RUN_TEST(bamboo::TestWoundWait16Shards);
+  RUN_TEST(bamboo::TestWaitDie16Shards);
+  RUN_TEST(bamboo::TestNoWait16Shards);
+  return bamboo::test::Summary("shard_stress_test");
+}

@@ -198,6 +198,72 @@ void TestEpochWatermarkAndDependencyAck() {
   RemoveTmpDir(dir);
 }
 
+/// Cross-shard dependency ack: with the lock table sharded, a dirty
+/// reader's retired-chain dependency can live in a different shard than
+/// the row the reader itself writes. Ack-epoch propagation rides the
+/// per-request barrier records (never a shard latch), so the durable-ack
+/// rule must hold unchanged across a chain that hops shards: each
+/// dependent's ack epoch covers its dependency's.
+void TestCrossShardDependencyAck() {
+  std::string dir = MakeTmpDir("xshard");
+  {
+    Config cfg = LogConfig(dir);
+    cfg.lock_shards = 4;
+    Database db(cfg);
+    Schema s;
+    s.AddColumn("val", 8);
+    Table* tbl = db.catalog()->CreateTable("t", s);
+    HashIndex* idx = db.catalog()->CreateIndex("t_pk", 64);
+    for (uint64_t k = 0; k < 32; k++) db.LoadRow(tbl, idx, k);
+    LockManager* lm = db.cc()->locks();
+    CHECK_EQ(lm->shard_count(), 4u);
+
+    // Pick two keys that route to different shards.
+    uint64_t k0 = 0, k1 = 0;
+    bool found = false;
+    for (uint64_t b = 1; b < 32 && !found; b++) {
+      if (lm->ShardIndexOf(idx->Get(b)) != lm->ShardIndexOf(idx->Get(k0))) {
+        k1 = b;
+        found = true;
+      }
+    }
+    CHECK(found);
+
+    // A retires a write on k0; B consumes it dirty (dependency recorded in
+    // k0's shard) and retires its own write on k1 (a different shard); C
+    // consumes *that* dirty -- a dependency chain spanning two shards.
+    Actor a(&db), b(&db), c(&db);
+    a.Begin(&db);
+    CHECK(a.h.UpdateRmw(idx, k0, Bump, nullptr) == RC::kOk);
+    b.Begin(&db);
+    const char* d = nullptr;
+    CHECK(b.h.Read(idx, k0, &d) == RC::kOk);
+    CHECK_EQ(b.cb.commit_semaphore.load(), 1);
+    CHECK(b.h.UpdateRmw(idx, k1, Bump, nullptr) == RC::kOk);
+    c.Begin(&db);
+    CHECK(c.h.Read(idx, k1, &d) == RC::kOk);
+    CHECK_EQ(c.cb.commit_semaphore.load(), 1);
+
+    CHECK(a.h.Commit(RC::kOk) == RC::kOk);
+    CHECK(a.cb.log_epoch >= 1);
+    CHECK_EQ(b.cb.dep_log_epoch.load(), a.cb.log_ack_epoch);
+    CHECK(b.h.Commit(RC::kOk) == RC::kOk);
+    CHECK(b.cb.log_ack_epoch >= a.cb.log_ack_epoch);
+    CHECK(b.cb.log_ack_epoch >= b.cb.log_epoch);
+    // B's release in k1's shard handed C the ack epoch B computed from its
+    // own records *and* its k0 dependency -- transitivity across shards.
+    CHECK_EQ(c.cb.dep_log_epoch.load(), b.cb.log_ack_epoch);
+    CHECK(c.h.Commit(RC::kOk) == RC::kOk);
+    CHECK_EQ(c.cb.log_epoch, uint64_t{0});  // read-only, logs nothing
+    CHECK(c.cb.log_ack_epoch >= b.cb.log_ack_epoch);
+
+    db.wal()->WaitDurable(c.cb.log_ack_epoch);
+    CHECK(db.wal()->durable_epoch() >= c.cb.log_ack_epoch);
+    CHECK(!db.wal()->failed());
+  }
+  RemoveTmpDir(dir);
+}
+
 void TestRecoveryReplay() {
   std::string dir = MakeTmpDir("replay");
   uint64_t expected[4] = {0, 0, 0, 0};
@@ -317,6 +383,7 @@ int main() {
   RUN_TEST(bamboo::TestChecksumRejection);
   RUN_TEST(bamboo::TestTornTailDecode);
   RUN_TEST(bamboo::TestEpochWatermarkAndDependencyAck);
+  RUN_TEST(bamboo::TestCrossShardDependencyAck);
   RUN_TEST(bamboo::TestRecoveryReplay);
   RUN_TEST(bamboo::TestRecoveryRefusesTornTail);
   return bamboo::test::Summary("wal_test");

@@ -91,10 +91,14 @@ void TablePrinter::AddRow(const std::vector<std::string>& cells) {
 }
 
 void TablePrinter::Print(const std::string& paper_note) const {
-  std::vector<size_t> width(columns_.size(), 0);
+  // Size the width table to the widest row, not just the header: a row
+  // with extra trailing cells would otherwise index past `width` below.
+  size_t ncols = columns_.size();
+  for (const auto& row : rows_) ncols = std::max(ncols, row.size());
+  std::vector<size_t> width(ncols, 0);
   for (size_t c = 0; c < columns_.size(); c++) width[c] = columns_[c].size();
   for (const auto& row : rows_) {
-    for (size_t c = 0; c < row.size() && c < width.size(); c++) {
+    for (size_t c = 0; c < row.size(); c++) {
       width[c] = std::max(width[c], row[c].size());
     }
   }

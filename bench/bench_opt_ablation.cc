@@ -59,6 +59,47 @@ void RunShardSweep(const bamboo::bench::Options& opt) {
             "sweep shows where the contention actually stops falling");
 }
 
+/// Adaptive contention policy vs each fixed protocol on the mixed-
+/// temperature synthetic mix (one pathological hotspot + warm band + cold
+/// writes/reads). Row names are stable awk keys (MIXED_<PROTOCOL>) for
+/// scripts/bench_snapshot.sh; the ADAPTIVE row reports its tier activity.
+void RunMixedTemperature(const bamboo::bench::Options& opt) {
+  using namespace bamboo;
+  using namespace bamboo::bench;
+  TablePrinter tbl(
+      "Mixed-temperature synthetic, adaptive policy vs fixed protocols",
+      {"config", "throughput(txn/s)", "abort_rate", "dirty_reads/txn",
+       "cascades/txn", "heats", "cools", "cold_rows", "hot_rows",
+       "breakdown(ms/txn)"});
+  const int threads = opt.threads > 0 ? opt.threads : 8;
+  auto run_one = [&](Protocol p, PolicyMode mode) {
+    Config cfg = opt.BaseConfig();
+    cfg.protocol = p;
+    cfg.policy_mode = mode;
+    cfg.num_threads = threads;
+    cfg.synth_mixed_temp = true;
+    cfg.synth_ops_per_txn = 16;
+    cfg.synth_num_hotspots = 1;
+    RunResult r = RunSynthetic(cfg);
+    auto per_txn = [&r](uint64_t n) {
+      return r.total.commits > 0 ? static_cast<double>(n) /
+                                       static_cast<double>(r.total.commits)
+                                 : 0.0;
+    };
+    tbl.AddRow({std::string("MIXED_") + ProtocolName(cfg), FmtThroughput(r),
+                Fmt(r.AbortRate(), 3), Fmt(per_txn(r.total.dirty_reads), 2),
+                Fmt(per_txn(r.total.cascade_victims), 2),
+                std::to_string(r.total.policy_heats),
+                std::to_string(r.total.policy_cools),
+                std::to_string(r.total.policy_cold_rows),
+                std::to_string(r.total.policy_hot_rows), FmtBreakdown(r)});
+  };
+  run_one(Protocol::kBamboo, PolicyMode::kAdaptive);
+  for (Protocol p : StandardProtocols()) run_one(p, PolicyMode::kFixed);
+  tbl.Print("adaptive should match full Bamboo on the hotspot while "
+            "skipping retire bookkeeping on the cold majority");
+}
+
 }  // namespace
 
 int main() {
@@ -70,6 +111,12 @@ int main() {
   // as the Zipfian multi-shard YCSB point without paying for the ablation).
   if (std::getenv("BB_SHARD_SWEEP_ONLY") != nullptr) {
     RunShardSweep(opt);
+    return 0;
+  }
+
+  // BB_MIXED_ONLY=1: just the adaptive-vs-fixed mixed-temperature table.
+  if (std::getenv("BB_MIXED_ONLY") != nullptr) {
+    RunMixedTemperature(opt);
     return 0;
   }
 
@@ -124,5 +171,6 @@ int main() {
             "read-write mixes (RAW aborts), opt4 reduces first-conflict "
             "wounds");
   RunShardSweep(opt);
+  RunMixedTemperature(opt);
   return 0;
 }

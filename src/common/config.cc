@@ -1,6 +1,7 @@
 #include "src/common/config.h"
 
 #include <cstdlib>
+#include <cstring>
 
 namespace bamboo {
 
@@ -14,6 +15,22 @@ int DefaultLockShards() {
     long parsed = std::strtol(v, &end, 10);
     if (end == v || parsed < 1) return 1024;
     return parsed > 65536 ? 65536 : static_cast<int>(parsed);
+  }();
+  return cached;
+}
+
+PolicyMode DefaultPolicyMode() {
+  // Latched once, same reason as DefaultLockShards: the CI matrix sets
+  // BB_POLICY_MODE per process, and mixing modes across Databases built
+  // from default Configs would make test behavior depend on construction
+  // order.
+  static const PolicyMode cached = [] {
+    const char* v = std::getenv("BB_POLICY_MODE");
+    if (v != nullptr &&
+        (std::strcmp(v, "adaptive") == 0 || std::strcmp(v, "ADAPTIVE") == 0)) {
+      return PolicyMode::kAdaptive;
+    }
+    return PolicyMode::kFixed;
   }();
   return cached;
 }
@@ -34,6 +51,55 @@ const char* ProtocolName(Protocol p) {
       return "IC3";
   }
   return "UNKNOWN";
+}
+
+const char* ProtocolName(const Config& cfg) {
+  if (cfg.policy_mode == PolicyMode::kAdaptive &&
+      cfg.protocol == Protocol::kBamboo) {
+    return "ADAPTIVE";
+  }
+  return ProtocolName(cfg.protocol);
+}
+
+std::string Config::Validate(std::vector<std::string>* warnings) const {
+  // Hard errors: configurations that cannot run correctly.
+  if (num_threads < 0) return "num_threads must be >= 0";
+  if (log_enabled && log_dir.empty()) {
+    return "log_enabled requires a non-empty log_dir";
+  }
+  if (bb_delta < 0.0 || bb_delta > 1.0) {
+    return "bb_delta must be within [0, 1]";
+  }
+  if (policy_warm_threshold >= policy_hot_threshold) {
+    return "policy_warm_threshold must be < policy_hot_threshold";
+  }
+
+  // Warnings: combos that are silently ignored/normalized. Database
+  // construction prints each distinct warning once per process.
+  auto warn = [warnings](std::string msg) {
+    if (warnings != nullptr) warnings->push_back(std::move(msg));
+  };
+  const bool lock_based = protocol != Protocol::kSilo;
+  if (protocol != Protocol::kBamboo && lock_based &&
+      (bb_opt_read_retire || bb_opt_no_retire_tail || bb_opt_raw_read)) {
+    warn(std::string("bb_opt_* switches are ignored under ") +
+         ProtocolName(protocol) + " (retire/raw-read paths are Bamboo-only)");
+  }
+  if (policy_mode == PolicyMode::kAdaptive && protocol != Protocol::kBamboo) {
+    warn(std::string("policy_mode=adaptive is normalized to fixed under ") +
+         ProtocolName(protocol) +
+         " (the adaptive selector only tiers Bamboo's retire machinery)");
+  }
+  if (log_enabled && protocol == Protocol::kSilo) {
+    warn("log_enabled is ignored under SILO (the WAL rides the lock-based "
+         "commit path)");
+  }
+  if (lock_shards < 1) {
+    warn("lock_shards < 1; the lock manager clamps it to 1");
+  } else if ((lock_shards & (lock_shards - 1)) != 0) {
+    warn("lock_shards is not a power of two; the lock manager rounds it up");
+  }
+  return "";
 }
 
 }  // namespace bamboo

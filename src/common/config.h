@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace bamboo {
 
@@ -18,6 +19,26 @@ enum class Protocol {
 };
 
 const char* ProtocolName(Protocol p);
+
+/// How the lock manager picks a contention policy per tuple.
+///
+///   kFixed    - every entry runs the Config protocol's descriptor
+///               (the five classic protocols, unchanged behavior).
+///   kAdaptive - Bamboo only: each entry tracks a conflict temperature and
+///               is admitted under the tier's descriptor -- cold rows run
+///               plain 2PL with retire skipped entirely (no cascade
+///               bookkeeping), warm rows run full Bamboo with the
+///               Section-3.5 opts, pathological rows escalate the wound
+///               rule and force fused-RMW retirement. With a non-Bamboo
+///               protocol kAdaptive is normalized back to kFixed (warned
+///               by Config::Validate), so a process-wide BB_POLICY_MODE
+///               default composes with protocol sweeps.
+enum class PolicyMode { kFixed, kAdaptive };
+
+/// Default policy mode: BB_POLICY_MODE=adaptive (latched once per process,
+/// like BB_LOCK_SHARDS), else kFixed. CI runs the tier-1 and TSan suites in
+/// both modes.
+PolicyMode DefaultPolicyMode();
 
 /// Default lock-table shard count: the BB_LOCK_SHARDS environment knob
 /// (latched once per process, like the failpoint env), else 1024. The CI
@@ -76,6 +97,32 @@ struct Config {
   /// to a single latch domain (the pre-shard behavior, kept in CI).
   int lock_shards = DefaultLockShards();
 
+  // --- Per-entry contention policy (adaptive protocol selection). The
+  // lock manager resolves a ContentionPolicy descriptor per LockEntry; in
+  // kFixed mode every tier slot holds the Config protocol's descriptor, in
+  // kAdaptive mode (Bamboo only) a per-entry conflict temperature picks
+  // cold / warm / pathological descriptors. See DESIGN.md "Per-entry
+  // contention policy".
+  PolicyMode policy_mode = DefaultPolicyMode();
+  /// Temperature at or above which an entry runs full Bamboo (below it the
+  /// entry is cold: plain 2PL admission, retire skipped). Temperature is a
+  /// decaying sum (t -= t>>4 per submit) of +256 per conflicting submit and
+  /// +1024 per cascading abort, capped at 8192; a pure conflict stream
+  /// saturates near 4096.
+  uint32_t policy_warm_threshold = 512;
+  /// Temperature at or above which an entry is pathological: the wound
+  /// rule escalates to waiters and fused RMWs always retire. Above the
+  /// 4096 conflict-only ceiling, so sustained cascading aborts (not mere
+  /// contention) are required to escalate.
+  uint32_t policy_hot_threshold = 6144;
+
+  /// Validate this Config. Returns an empty string when usable, else a
+  /// human-readable error (Database construction aborts on it). Combos
+  /// that are silently ignored (bb_opt_* under non-Bamboo protocols,
+  /// adaptive policy mode under non-Bamboo, WAL under Silo) are appended
+  /// to `warnings` (may be null) and normalized by the consumer.
+  std::string Validate(std::vector<std::string>* warnings = nullptr) const;
+
   // --- Bamboo ablation switches (Section 3.5). All default to the paper's
   // full configuration; bench_opt_ablation toggles them individually.
   /// Opt 1: shared locks retire inside LockAcquire (no second latch round).
@@ -105,6 +152,15 @@ struct Config {
   /// whole transaction is a handful of multi-key statements. Exercised by
   /// bench_multiget.
   bool synth_batch_ops = false;
+  /// Mixed-temperature variant: each transaction touches one pathological
+  /// hotspot (fused RMW), a few warm rows (fused RMWs over a small warm
+  /// table), a few cold plain writes (Update + WriteDone, exercising the
+  /// retire path), and cold reads for the rest. This is the workload where
+  /// the adaptive policy should beat every fixed protocol.
+  bool synth_mixed_temp = false;
+  uint64_t synth_warm_rows = 64;  ///< size of the warm (contended) table
+  int synth_mix_warm_ops = 2;     ///< warm fused RMWs per transaction
+  int synth_mix_cold_writes = 2;  ///< cold plain writes per transaction
 
   // --- YCSB.
   uint64_t ycsb_rows = 100000;
@@ -123,6 +179,11 @@ struct Config {
   /// payment/new-order column disjointness into a true conflict.
   bool tpcc_neworder_reads_wytd = false;
 };
+
+/// Protocol name for reports, policy-mode aware: "ADAPTIVE" when the lock
+/// manager actually runs the adaptive selector (kAdaptive + kBamboo), else
+/// the fixed protocol's name.
+const char* ProtocolName(const Config& cfg);
 
 }  // namespace bamboo
 

@@ -50,6 +50,14 @@ struct alignas(kCacheLineSize) ThreadStats {
   /// dependency's epoch when they first checked the watermark.
   uint64_t commits_awaiting_dep = 0;
 
+  // --- adaptive contention policy (LockManager::PolicyTierTotals, folded
+  // in at run end; all zero in fixed policy mode). heats/cools count tier
+  // transitions; cold/hot_rows are the end-of-run tier populations.
+  uint64_t policy_heats = 0;
+  uint64_t policy_cools = 0;
+  uint64_t policy_cold_rows = 0;
+  uint64_t policy_hot_rows = 0;
+
   void Add(const ThreadStats& o) {
     commits += o.commits;
     aborts += o.aborts;
@@ -71,6 +79,10 @@ struct alignas(kCacheLineSize) ThreadStats {
     log_fsyncs += o.log_fsyncs;
     durable_lag_epochs += o.durable_lag_epochs;
     commits_awaiting_dep += o.commits_awaiting_dep;
+    policy_heats += o.policy_heats;
+    policy_cools += o.policy_cools;
+    policy_cold_rows += o.policy_cold_rows;
+    policy_hot_rows += o.policy_hot_rows;
   }
 
   void Reset() { *this = ThreadStats(); }

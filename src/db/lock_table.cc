@@ -287,6 +287,55 @@ LockManager::LockManager(const Config& cfg, std::atomic<uint64_t>* ts_counter,
   shard_count_ = count;
   shard_mask_ = count - 1;
   shards_.reset(new LockShard[count]);
+
+  // Resolve the contention-policy layer once. The adaptive selector only
+  // tiers Bamboo (other protocols have no retire machinery to tier);
+  // anything else is normalized to fixed, matching Config::Validate.
+  adaptive_ = cfg.policy_mode == PolicyMode::kAdaptive &&
+              cfg.protocol == Protocol::kBamboo;
+  policies_[0] = FixedPolicy(cfg);  // tier 0: warm = the protocol itself
+  if (adaptive_) {
+    policies_[1] = ColdPolicy();
+    policies_[2] = HotPolicy(cfg);
+  } else {
+    policies_[1] = policies_[0];
+    policies_[2] = policies_[0];
+  }
+  retire_possible_ = cfg.protocol == Protocol::kBamboo;
+  bamboo_family_ = cfg.protocol == Protocol::kBamboo;
+  observe_cts_ = bamboo_family_ && cfg.bb_opt_raw_read;
+  track_cts_ = observe_cts_;
+  warm_threshold_ = cfg.policy_warm_threshold;
+  hot_threshold_ = cfg.policy_hot_threshold;
+  if (warm_threshold_ >= hot_threshold_) hot_threshold_ = warm_threshold_ + 1;
+}
+
+void LockManager::UpdateTemp(LockShard* sh, LockEntry* e, uint32_t add) {
+  // Decaying conflict temperature: t -= t>>4 per submit, plus the event
+  // weight, capped. The decay alone sends an uncontended entry to the cold
+  // tier within a handful of accesses; a pure conflict stream (+256 each)
+  // equilibrates near 4096 -- between the default warm (512) and hot
+  // (6144) thresholds, so plain heavy contention runs full Bamboo and only
+  // sustained cascading aborts (+1024 each, ReleaseOne) escalate to the
+  // pathological tier.
+  uint32_t t = e->temp;
+  t -= t >> 4;
+  t += add;
+  if (t > 8192) t = 8192;
+  e->temp = static_cast<uint16_t>(t);
+  const uint8_t cur = e->tier.load(std::memory_order_relaxed);
+  const uint8_t next = t >= hot_threshold_ ? 2 : (t >= warm_threshold_ ? 0 : 1);
+  if (next == cur) return;
+  e->tier.store(next, std::memory_order_relaxed);
+  // Heat order is cold(1) < warm(0) < hot(2); rank maps tier -> heat.
+  static constexpr uint8_t rank[3] = {1, 0, 2};
+  if (rank[next] > rank[cur]) {
+    sh->tier_heats++;
+  } else {
+    sh->tier_cools++;
+  }
+  sh->cold_rows += (next == 1) - (cur == 1);
+  sh->hot_rows += (next == 2) - (cur == 2);
 }
 
 uint64_t LockManager::ShardHash(uint32_t table_id, uint64_t key) {
@@ -322,6 +371,25 @@ void LockManager::ShardLatchTotals(uint64_t* spins, uint64_t* waits) {
   }
   *spins = s;
   *waits = w;
+}
+
+void LockManager::PolicyTierTotals(uint64_t* heats, uint64_t* cools,
+                                   uint64_t* cold_rows, uint64_t* hot_rows) {
+  uint64_t h = 0;
+  uint64_t c = 0;
+  int64_t cold = 0;
+  int64_t hot = 0;
+  for (uint32_t i = 0; i < shard_count_; i++) {
+    ShardGuard g(&shards_[i], nullptr);
+    h += shards_[i].tier_heats;
+    c += shards_[i].tier_cools;
+    cold += shards_[i].cold_rows;
+    hot += shards_[i].hot_rows;
+  }
+  *heats = h;
+  *cools = c;
+  *cold_rows = static_cast<uint64_t>(cold < 0 ? 0 : cold);
+  *hot_rows = static_cast<uint64_t>(hot < 0 ? 0 : hot);
 }
 
 bool LockManager::WoundAndClaim(TxnCB* victim, bool cascade) {
@@ -386,7 +454,7 @@ AccessGrant LockManager::Submit(const AccessRequest& req, TxnCB* txn) {
     // SH node and never allocate).
     if (req.upgrade_of == nullptr) txn->pool.Reserve();
     ShardGuard g(sh, txn->stats);
-    grant = req.upgrade_of != nullptr ? UpgradeOne(req, txn)
+    grant = req.upgrade_of != nullptr ? UpgradeOne(sh, req, txn)
                                       : SubmitOne(sh, req, txn);
   }
   DrainCompletions();
@@ -415,7 +483,7 @@ int LockManager::SubmitMany(const AccessRequest* reqs, int n, TxnCB* txn,
       ShardGuard g(&shards_[s], txn->stats);
       for (; i < end; i++) {
         grants[i] = reqs[i].upgrade_of != nullptr
-                        ? UpgradeOne(reqs[i], txn)
+                        ? UpgradeOne(&shards_[s], reqs[i], txn)
                         : SubmitOne(&shards_[s], reqs[i], txn);
         if (grants[i].rc != AcqResult::kGranted) {
           // A waiter must park (and an abort ends the attempt) before any
@@ -441,22 +509,27 @@ AccessGrant LockManager::SubmitOne(LockShard* sh, const AccessRequest& req,
   const LockType type = req.type;
   LockEntry* e = row->Lock();
   const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
+  // Resolve the entry's policy *before* folding this access into its
+  // temperature: the admission runs under the tier the previous traffic
+  // earned, and the reference stays valid (policies_ is immutable).
+  const ContentionPolicy& pol = PolicyFor(e);
 
   // Uncontended fast path: a fully empty entry grants immediately under
-  // every protocol -- no conflict gather, no timestamp assignment, no
-  // wound decision can apply. Only the Bamboo pinned-read-only rule and
-  // the snapshot validation still gate the grant (inside GrantNow; its
-  // barrier registration is a no-op on the empty retired list).
+  // every policy -- no conflict gather, no timestamp assignment, no wound
+  // decision can apply. Only the Bamboo pinned-read-only rule and the
+  // snapshot validation still gate the grant (inside GrantNow; its barrier
+  // registration is a no-op on the empty retired list).
   if (e->owners.head == nullptr && e->retired.head == nullptr &&
       e->waiters.head == nullptr) {
-    if (type == LockType::kEX && cfg_.protocol == Protocol::kBamboo &&
+    if (adaptive_) UpdateTemp(sh, e, 0);
+    if (type == LockType::kEX && bamboo_family_ &&
         txn->raw_snapshot_cts.load(std::memory_order_relaxed) != 0) {
       txn->raw_suppressed = true;
       AccessGrant a;
       a.rc = AcqResult::kAbort;
       return a;
     }
-    return GrantNow(e, row, txn, req, seq);
+    return GrantNow(e, row, txn, req, seq, pol);
   }
 
   // Gather conflicts. Self re-acquisition never reaches the lock manager
@@ -497,116 +570,122 @@ AccessGrant LockManager::SubmitOne(LockShard* sh, const AccessRequest& req,
       break;
     }
   }
+  if (adaptive_) {
+    UpdateTemp(sh, e,
+               (!c_owners.empty() || !c_retired.empty() ||
+                older_conflicting_waiter)
+                   ? 256
+                   : 0);
+  }
 
-  switch (cfg_.protocol) {
-    case Protocol::kNoWait:
+  // A pinned snapshot makes this transaction read-only: its raw reads sit
+  // at the pin, and a write would have to serialize after commits those
+  // reads ignored. Abort here -- before wounding anyone on a doomed
+  // attempt -- and suppress the raw path for the retry so a persistently
+  // hot row cannot livelock the transaction. Global gate, not per-tier:
+  // the pin was taken on *some* row, so every row's EX must honor it.
+  if (type == LockType::kEX && bamboo_family_ &&
+      txn->raw_snapshot_cts.load(std::memory_order_relaxed) != 0) {
+    txn->raw_suppressed = true;
+    AccessGrant a;
+    a.rc = AcqResult::kAbort;
+    return a;
+  }
+
+  // Opt 3 (policy-gated): a reader older than every uncommitted retired
+  // writer is serialized *before* them: serve a committed image with no
+  // lock footprint instead of wounding the writers. The image comes from
+  // the transaction's CTS snapshot (pinned at its first raw read), so raw
+  // reads across rows are mutually consistent. Inert whenever the retired
+  // list is empty -- i.e. always, under descriptors that never retire.
+  if (type == LockType::kSH && pol.raw_read && c_owners.empty() &&
+      !c_retired.empty()) {
+    bool all_uncommitted_younger = true;
+    bool any_uncommitted = false;
+    for (LockReq* r : c_retired) {
+      if (HolderCommitted(*r)) continue;
+      any_uncommitted = true;
+      if (!OlderThan(txn, r->txn)) {
+        all_uncommitted_younger = false;
+        break;
+      }
+    }
+    // Pin a fresh snapshot only for a transaction that has not written
+    // (pinned transactions must stay read-only), was not suppressed by a
+    // failed earlier attempt, and whose every dirty observation so far has
+    // committed (semaphore drained -- their stamps are then covered by the
+    // pin). Pre-pin *clean* locked reads need no check: their retired
+    // footprint forces later writers of those rows to commit after this
+    // reader. Otherwise fall through to the ordinary admission path.
+    if (any_uncommitted && all_uncommitted_younger &&
+        (txn->raw_snapshot_cts.load(std::memory_order_relaxed) != 0 ||
+         (!txn->raw_suppressed &&
+          !txn->wrote_any.load(std::memory_order_relaxed) &&
+          txn->commit_semaphore.load(std::memory_order_acquire) == 0))) {
+      return RawSnapshotRead(sh, row, txn, req.read_buf);
+    }
+  }
+
+  // Unified admission, driven by the policy's conflict rule. The retired
+  // list is provably empty under fixed non-Bamboo descriptors (nothing
+  // ever retires), so the retired clauses below reduce each rule to its
+  // classic owners-only form there.
+  bool wait = false;
+  switch (pol.conflict) {
+    case ConflictRule::kAbort:
+      // No-wait: any live conflict aborts the requester. Uncommitted
+      // retired conflicts count (only reachable when a cold entry still
+      // carries warm-era leftovers): granting would dirty-read state a
+      // never-retire admission promises not to consume.
       if (!c_owners.empty()) {
         AccessGrant a;
         a.rc = AcqResult::kAbort;
         return a;
       }
+      for (LockReq* r : c_retired) {
+        if (!HolderCommitted(*r)) {
+          AccessGrant a;
+          a.rc = AcqResult::kAbort;
+          return a;
+        }
+      }
       break;
 
-    case Protocol::kWaitDie: {
+    case ConflictRule::kDieYounger: {
+      // Wait-die: the requester may wait only if it is older than every
+      // conflicting holder (owners and uncommitted retired alike).
       bool die = older_conflicting_waiter;
       for (LockReq* o : c_owners) {
         if (!OlderThan(txn, o->txn)) die = true;  // younger requester dies
+      }
+      for (LockReq* r : c_retired) {
+        if (!HolderCommitted(*r) && !OlderThan(txn, r->txn)) die = true;
       }
       if (die) {
         AccessGrant a;
         a.rc = AcqResult::kAbort;
         return a;
       }
-      if (!c_owners.empty()) {
-        txn->lock_granted.store(0, std::memory_order_relaxed);
-        LockReq* wreq =
-            MakeReq(txn, seq, type, req.rmw_fn, req.rmw_arg, req.retire_now);
-        InsertWaiter(e, wreq);
-        AccessGrant a;
-        a.rc = AcqResult::kWait;
-        a.token = wreq;
-        return a;
+      wait = !c_owners.empty();
+      for (LockReq* r : c_retired) {
+        if (!HolderCommitted(*r)) wait = true;
       }
       break;
     }
 
-    case Protocol::kWoundWait:
-    case Protocol::kIc3:
-      // Wound every younger conflicting owner, then wait for the queue to
-      // clear (wounded owners roll back asynchronously in their threads).
-      for (LockReq* o : c_owners) {
-        if (OlderThan(txn, o->txn)) WoundAndClaim(o->txn, /*cascade=*/false);
-      }
-      if (!c_owners.empty() || older_conflicting_waiter) {
-        txn->lock_granted.store(0, std::memory_order_relaxed);
-        LockReq* wreq =
-            MakeReq(txn, seq, type, req.rmw_fn, req.rmw_arg, req.retire_now);
-        InsertWaiter(e, wreq);
-        AccessGrant a;
-        a.rc = AcqResult::kWait;
-        a.token = wreq;
-        return a;
-      }
-      break;
-
-    case Protocol::kBamboo: {
-      // A pinned snapshot makes this transaction read-only: its raw reads
-      // sit at the pin, and a write would have to serialize after commits
-      // those reads ignored. Abort here -- before wounding anyone on a
-      // doomed attempt -- and suppress the raw path for the retry so a
-      // persistently hot row cannot livelock the transaction.
-      if (type == LockType::kEX &&
-          txn->raw_snapshot_cts.load(std::memory_order_relaxed) != 0) {
-        txn->raw_suppressed = true;
-        AccessGrant a;
-        a.rc = AcqResult::kAbort;
-        return a;
-      }
-
-      // Opt 3: a reader older than every uncommitted retired writer is
-      // serialized *before* them: serve a committed image with no lock
-      // footprint instead of wounding the writers. The image comes from
-      // the transaction's CTS snapshot (pinned at its first raw read), so
-      // raw reads across rows are mutually consistent.
-      if (type == LockType::kSH && cfg_.bb_opt_raw_read && c_owners.empty() &&
-          !c_retired.empty()) {
-        bool all_uncommitted_younger = true;
-        bool any_uncommitted = false;
-        for (LockReq* r : c_retired) {
-          if (HolderCommitted(*r)) continue;
-          any_uncommitted = true;
-          if (!OlderThan(txn, r->txn)) {
-            all_uncommitted_younger = false;
-            break;
-          }
-        }
-        // Pin a fresh snapshot only for a transaction that has not written
-        // (pinned transactions must stay read-only), was not suppressed by
-        // a failed earlier attempt, and whose every dirty observation so
-        // far has committed (semaphore drained -- their stamps are then
-        // covered by the pin). Pre-pin *clean* locked reads need no check:
-        // their retired footprint forces later writers of those rows to
-        // commit after this reader. Otherwise fall through to the ordinary
-        // wound/wait path.
-        if (any_uncommitted && all_uncommitted_younger &&
-            (txn->raw_snapshot_cts.load(std::memory_order_relaxed) != 0 ||
-             (!txn->raw_suppressed &&
-              !txn->wrote_any.load(std::memory_order_relaxed) &&
-              txn->commit_semaphore.load(std::memory_order_acquire) == 0))) {
-          return RawSnapshotRead(sh, row, txn, req.read_buf);
-        }
-      }
-
+    case ConflictRule::kWoundYounger: {
       // Wound-wait over owners *and* retired keeps all dependency edges
-      // pointing younger -> older, which makes both the waits-for graph and
-      // the commit-order graph acyclic.
+      // pointing younger -> older, which makes both the waits-for graph
+      // and the commit-order graph acyclic.
       for (LockReq* o : c_owners) {
         if (OlderThan(txn, o->txn)) WoundAndClaim(o->txn, /*cascade=*/false);
       }
       bool younger_retired_present = false;
       bool retired_upgrade_block = false;
+      bool uncommitted_retired = false;
       for (LockReq* r : c_retired) {
         if (HolderCommitted(*r)) continue;
+        uncommitted_retired = true;
         // Never grant past -- or stack a barrier behind -- a pending
         // upgrade: the upgrader waits for the entry to drain, so a grant
         // registered behind it would wait for the upgrader's commit while
@@ -619,27 +698,42 @@ AccessGrant LockManager::SubmitOne(LockShard* sh, const AccessRequest& req,
           younger_retired_present = true;  // stays until it rolls back
         }
       }
-      if (!c_owners.empty() || younger_retired_present ||
-          retired_upgrade_block || older_conflicting_waiter) {
-        txn->lock_granted.store(0, std::memory_order_relaxed);
-        LockReq* wreq =
-            MakeReq(txn, seq, type, req.rmw_fn, req.rmw_arg, req.retire_now);
-        InsertWaiter(e, wreq);
-        AccessGrant a;
-        a.rc = AcqResult::kWait;
-        a.token = wreq;
-        return a;
+      if (pol.wound_waiters) {
+        // Pathological tier: an older requester also wounds younger
+        // conflicting *waiters*, collapsing the pile-up instead of
+        // queueing at its tail. Sound for the same reason wounding owners
+        // is: every wound points older -> younger.
+        for (LockReq* w = e->waiters.head; w != nullptr; w = w->next) {
+          if (w->txn != txn && Conflicts(w->type, type) &&
+              OlderThan(txn, w->txn)) {
+            WoundAndClaim(w->txn, /*cascade=*/false);
+          }
+        }
       }
+      // A never-retire descriptor also never *consumes* retired state: a
+      // cold entry with warm-era uncommitted leftovers waits for them to
+      // commit (plain-2PL semantics) instead of granting a dirty barrier.
+      const bool dirty_ok = pol.retire != RetireMode::kNever;
+      wait = !c_owners.empty() || younger_retired_present ||
+             retired_upgrade_block || older_conflicting_waiter ||
+             (!dirty_ok && uncommitted_retired);
       break;
     }
-
-    case Protocol::kSilo:
-      break;  // Silo never reaches the lock manager
+  }
+  if (wait) {
+    txn->lock_granted.store(0, std::memory_order_relaxed);
+    LockReq* wreq =
+        MakeReq(txn, seq, type, req.rmw_fn, req.rmw_arg, req.retire_now);
+    InsertWaiter(e, wreq);
+    AccessGrant a;
+    a.rc = AcqResult::kWait;
+    a.token = wreq;
+    return a;
   }
 
   // Immediate grant.
-  AccessGrant grant = GrantNow(e, row, txn, req, seq);
-  if (cfg_.protocol == Protocol::kWaitDie) WaitDieRepair(e);
+  AccessGrant grant = GrantNow(e, row, txn, req, seq, pol);
+  if (pol.waitdie_repair) WaitDieRepair(e);
   return grant;
 }
 
@@ -654,8 +748,8 @@ AccessGrant LockManager::SubmitOne(LockShard* sh, const AccessRequest& req,
 /// keeps folding the descriptor fields each site already has in registers
 /// (outlining this cost a measurable ~10ns per grant).
 __attribute__((always_inline)) inline AccessGrant LockManager::GrantNow(
-    LockEntry* e, Row* row, TxnCB* txn, const AccessRequest& req,
-    uint64_t seq) {
+    LockEntry* e, Row* row, TxnCB* txn, const AccessRequest& req, uint64_t seq,
+    const ContentionPolicy& pol) {
   const LockType type = req.type;
   LockReq* r =
       MakeReq(txn, seq, type, req.rmw_fn, req.rmw_arg, req.retire_now);
@@ -673,7 +767,12 @@ __attribute__((always_inline)) inline AccessGrant LockManager::GrantNow(
     r->write_data = grant.write_data;
     if (req.rmw_fn != nullptr) {
       req.rmw_fn(grant.write_data, req.rmw_arg);
-      if (req.retire_now) {
+      // Fused RMWs retire when the caller asked (kHonor) or always under
+      // the pathological tier (kForce overrides the caller's Opt-2 tail
+      // hint); never under kNever. Plain EX grants are placed in owners
+      // unconditionally -- the write has not happened yet.
+      if (pol.retire == RetireMode::kForce ||
+          (pol.retire == RetireMode::kHonor && req.retire_now)) {
         e->retired.PushBack(r, ReqQueue::kRetired);
         grant.retired = true;
       } else {
@@ -685,10 +784,12 @@ __attribute__((always_inline)) inline AccessGrant LockManager::GrantNow(
   } else {
     CopyRowImage(req.read_buf, row->NewestData(), row->size());
     if (grant.dirty && txn->stats != nullptr) txn->stats->dirty_reads++;
-    if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read) {
+    if (observe_cts_) {
+      // Global gate, not per-tier: snapshot pins on *other* rows validate
+      // against the floor every locked read maintains.
       ObserveLockedRead(row, txn, grant.dirty);
     }
-    if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_read_retire) {
+    if (pol.retire_reads) {  // Opt 1
       e->retired.PushBack(r, ReqQueue::kRetired);
       grant.retired = true;
     } else {
@@ -700,10 +801,12 @@ __attribute__((always_inline)) inline AccessGrant LockManager::GrantNow(
 
 // --- SH -> EX upgrades ------------------------------------------------------
 
-AccessGrant LockManager::UpgradeOne(const AccessRequest& req, TxnCB* txn) {
+AccessGrant LockManager::UpgradeOne(LockShard* sh, const AccessRequest& req,
+                                    TxnCB* txn) {
   Row* row = req.row;
   LockReq* r = req.upgrade_of;
   LockEntry* e = row->Lock();
+  const ContentionPolicy& pol = PolicyFor(e);  // resolve before UpdateTemp
   AccessGrant a;
   if (txn->IsAborted()) {
     a.rc = AcqResult::kAbort;
@@ -718,7 +821,7 @@ AccessGrant LockManager::UpgradeOne(const AccessRequest& req, TxnCB* txn) {
   }
   // Pinned transactions are read-only (Opt 3): same rule as a fresh EX
   // acquire -- abort before wounding anyone, suppress raw reads on retry.
-  if (cfg_.protocol == Protocol::kBamboo &&
+  if (bamboo_family_ &&
       txn->raw_snapshot_cts.load(std::memory_order_relaxed) != 0) {
     txn->raw_suppressed = true;
     a.rc = AcqResult::kAbort;
@@ -746,15 +849,16 @@ AccessGrant LockManager::UpgradeOne(const AccessRequest& req, TxnCB* txn) {
     for (LockReq* h : c_holders) EnsureTs(h->txn);
     EnsureTs(txn);
   }
+  if (adaptive_) UpdateTemp(sh, e, c_holders.empty() ? 0 : 256);
 
-  switch (cfg_.protocol) {
-    case Protocol::kNoWait:
+  switch (pol.conflict) {
+    case ConflictRule::kAbort:
       if (!c_holders.empty()) {
         a.rc = AcqResult::kAbort;
         return a;
       }
       break;
-    case Protocol::kWaitDie: {
+    case ConflictRule::kDieYounger: {
       // Wait-die: the upgrader may wait only if it is older than every
       // conflicting holder (this also resolves the classic dual-upgrade
       // deadlock: the younger of two upgrading readers dies here).
@@ -766,17 +870,20 @@ AccessGrant LockManager::UpgradeOne(const AccessRequest& req, TxnCB* txn) {
       }
       break;
     }
-    case Protocol::kWoundWait:
-    case Protocol::kIc3:
-    case Protocol::kBamboo:
+    case ConflictRule::kWoundYounger:
       // Wound-wait: younger conflicting holders die (the dual-upgrade case
       // resolves the same way -- the younger upgrader is itself a holder).
       for (LockReq* h : c_holders) {
         if (OlderThan(txn, h->txn)) WoundAndClaim(h->txn, /*cascade=*/false);
       }
+      if (pol.wound_waiters) {
+        for (LockReq* w = e->waiters.head; w != nullptr; w = w->next) {
+          if (w->txn != txn && OlderThan(txn, w->txn)) {
+            WoundAndClaim(w->txn, /*cascade=*/false);
+          }
+        }
+      }
       break;
-    case Protocol::kSilo:
-      break;  // Silo promotes in its own write set, never here
   }
 
   if (UpgradeEligible(e, *r)) {
@@ -797,7 +904,7 @@ AccessGrant LockManager::UpgradeOne(const AccessRequest& req, TxnCB* txn) {
   txn->lock_granted.store(0, std::memory_order_relaxed);
   // The pending upgrade just made previously-compatible waiters conflict
   // with an older holder -- the edge wait-die forbids.
-  if (cfg_.protocol == Protocol::kWaitDie) WaitDieRepair(e);
+  if (pol.waitdie_repair) WaitDieRepair(e);
   a.rc = AcqResult::kWait;
   a.token = r;
   return a;
@@ -810,9 +917,12 @@ bool LockManager::UpgradeEligible(LockEntry* e, const LockReq& r) const {
   // ...and every other uncommitted retired entry is older: the upgrade
   // then stacks behind them with commit barriers exactly like a fresh EX
   // grant. Wounded younger stragglers must finish rolling back first.
+  // Under a never-retire policy (cold tier) the upgrade additionally
+  // waits for uncommitted retired leftovers to commit -- no dirty barrier.
+  const bool dirty_ok = PolicyFor(e).retire != RetireMode::kNever;
   for (const LockReq* q = e->retired.head; q != nullptr; q = q->next) {
     if (q == &r || HolderCommitted(*q)) continue;
-    if (!OlderThan(q->txn, r.txn)) return false;
+    if (!dirty_ok || !OlderThan(q->txn, r.txn)) return false;
   }
   return true;
 }
@@ -838,7 +948,9 @@ AccessGrant LockManager::GrantUpgrade(LockEntry* e, Row* row, LockReq* r) {
   r->write_data = g.write_data;
   if (r->rmw_fn != nullptr) {
     r->rmw_fn(g.write_data, r->rmw_arg);
-    if (r->rmw_retire) {
+    const ContentionPolicy& pol = PolicyFor(e);
+    if (pol.retire == RetireMode::kForce ||
+        (pol.retire == RetireMode::kHonor && r->rmw_retire)) {
       e->retired.PushBack(r, ReqQueue::kRetired);
       g.retired = true;
       return g;
@@ -1100,11 +1212,10 @@ AccessGrant LockManager::FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn,
     // writer the instant the latch drops.
     CopyRowImage(read_buf, row->NewestData(), row->size());
     if (grant.dirty && txn->stats != nullptr) txn->stats->dirty_reads++;
-    if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read) {
+    if (observe_cts_) {
       ObserveLockedRead(row, txn, grant.dirty);
     }
-    if (cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_read_retire &&
-        token->queue == ReqQueue::kOwners) {
+    if (PolicyFor(e).retire_reads && token->queue == ReqQueue::kOwners) {
       // Opt 1: the read is complete, retire inside the same latch hold --
       // straight off the token, no owners scan.
       e->owners.Remove(token);
@@ -1135,19 +1246,39 @@ bool LockManager::RmwRetired(Row* row, GrantToken token, RmwFn fn, void* arg) {
   return ok;
 }
 
-void LockManager::Retire(Row* row, GrantToken token) {
+bool LockManager::Retire(Row* row, GrantToken token, bool tail_write) {
+  // Pre-latch early-outs: a retire is an optimization, never required for
+  // correctness, so it may be skipped off cheap (even racy) reads.
+  if (!retire_possible_) return false;
+  LockEntry* e = row->Lock();
+  if (adaptive_) {
+    // The tier read is racy (no latch yet) but benign: a stale value only
+    // skips or takes one optional retire. Cold rows skip the whole latch
+    // round -- no retired placement, no cascade bookkeeping ever accrues.
+    const uint8_t tier = e->tier.load(std::memory_order_relaxed);
+    if (tier == 1) return false;
+    if (tail_write && tier != 2) return false;  // Opt-2 tail, not forced
+  } else if (tail_write) {
+    return false;  // fixed Bamboo: Opt-2 tail writes never retire
+  }
   TxnCB* txn = token->txn;
   t_exec_stats = txn->stats;  // retires only run on the owning thread
-  LockEntry* e = row->Lock();
+  bool retired = false;
   {
     ShardGuard g(ShardOf(row), txn->stats);
-    if (token->queue == ReqQueue::kOwners) {  // else: aborted concurrently
+    const ContentionPolicy& pol = PolicyFor(e);  // authoritative, latched
+    const bool want = pol.retire == RetireMode::kForce ||
+                      (pol.retire == RetireMode::kHonor && !tail_write);
+    if (want && token->queue == ReqQueue::kOwners) {
+      // (else: not an owner -- aborted concurrently)
       e->owners.Remove(token);
       e->retired.PushBack(token, ReqQueue::kRetired);
       PromoteWaiters(e, row);
+      retired = true;
     }
   }
   DrainCompletions();  // PromoteWaiters can claim wound completions
+  return retired;
 }
 
 int LockManager::Release(Row* row, GrantToken token, bool committed) {
@@ -1274,8 +1405,7 @@ int LockManager::ReleaseOne(LockShard* sh, Row* row, GrantToken req,
         e->upgrades_pending--;
       }
       if (req->type == LockType::kEX) {
-        const bool track_cts =
-            cfg_.protocol == Protocol::kBamboo && cfg_.bb_opt_raw_read;
+        const bool track_cts = track_cts_;
         if (committed) {
           // The committer drew its CTS before releasing, so the stamp is
           // available here (0 only for test-driven manual commits, which
@@ -1289,6 +1419,12 @@ int LockManager::ReleaseOne(LockShard* sh, Row* row, GrantToken req,
         } else {
           row->AbortVersion(txn, req->seq);
         }
+      }
+      // A cascading abort (dirty state someone consumed is rolling back)
+      // is the strongest pathology signal: weight it well above a plain
+      // conflict so only rows that keep cascading cross the hot threshold.
+      if (adaptive_ && !committed && req->dep_count > 0) {
+        UpdateTemp(sh, e, 1024);
       }
       wounded = RetireDependentsAndFree(req, committed);
       break;
@@ -1323,6 +1459,11 @@ bool LockManager::WaiterEligible(LockEntry* e, const LockReq& w) const {
   }
   if (e->retired.empty()) return true;
   if (w.type == LockType::kSH && e->retired.ex_count == 0) return true;
+  // A never-retire policy (cold tier) also never grants *past* uncommitted
+  // retired state: the waiter holds until those entries commit, plain-2PL
+  // style, instead of taking a dirty barrier. Inert under fixed
+  // descriptors (either retire is on, or the retired list is empty).
+  const bool dirty_ok = PolicyFor(e).retire != RetireMode::kNever;
   for (const LockReq* r = e->retired.head; r != nullptr; r = r->next) {
     if (r->txn == w.txn || !Conflicts(EffectiveType(*r), w.type)) continue;
     // A pending upgrade must resolve before anything stacks behind it
@@ -1331,7 +1472,9 @@ bool LockManager::WaiterEligible(LockEntry* e, const LockReq& w) const {
     // May only queue *behind* older (or already committed) retired
     // entries; a younger uncommitted one is a doomed wound target that
     // must drain first.
-    if (!HolderCommitted(*r) && !OlderThan(r->txn, w.txn)) return false;
+    if (!HolderCommitted(*r) && (!dirty_ok || !OlderThan(r->txn, w.txn))) {
+      return false;
+    }
   }
   return true;
 }
@@ -1341,6 +1484,7 @@ void LockManager::PromoteWaiters(LockEntry* e, Row* row) {
   // precedes any waiter in the grant order.
   if (e->upgrades_pending != 0) TryGrantUpgrade(e, row);
 
+  const ContentionPolicy& pol = PolicyFor(e);
   LockReq* w = e->waiters.head;
   while (w != nullptr) {
     LockReq* next = w->next;
@@ -1365,7 +1509,8 @@ void LockManager::PromoteWaiters(LockEntry* e, Row* row) {
       char* data = row->PushVersion(t, w->seq);
       w->write_data = data;
       w->rmw_fn(data, w->rmw_arg);
-      if (w->rmw_retire) {
+      if (pol.retire == RetireMode::kForce ||
+          (pol.retire == RetireMode::kHonor && w->rmw_retire)) {
         e->retired.PushBack(w, ReqQueue::kRetired);
       } else {
         e->owners.PushBack(w, ReqQueue::kOwners);
@@ -1379,7 +1524,7 @@ void LockManager::PromoteWaiters(LockEntry* e, Row* row) {
     w = next;
   }
 
-  if (cfg_.protocol == Protocol::kWaitDie) WaitDieRepair(e);
+  if (pol.waitdie_repair) WaitDieRepair(e);
 }
 
 /// Wait-die invariant repair: enqueueing only ever makes an older txn wait
@@ -1423,6 +1568,14 @@ size_t LockManager::RetiredCount(Row* row) {
 size_t LockManager::WaiterCount(Row* row) {
   ShardGuard g(ShardOf(row), nullptr);
   return row->Lock()->waiters.size;
+}
+uint32_t LockManager::DebugTemp(Row* row) {
+  ShardGuard g(ShardOf(row), nullptr);
+  return row->Lock()->temp;
+}
+int LockManager::DebugTier(Row* row) {
+  ShardGuard g(ShardOf(row), nullptr);
+  return row->Lock()->tier.load(std::memory_order_relaxed);
 }
 
 size_t LockManager::DependentCount(Row* row, TxnCB* txn) {

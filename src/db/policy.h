@@ -1,0 +1,115 @@
+#ifndef BAMBOO_SRC_DB_POLICY_H_
+#define BAMBOO_SRC_DB_POLICY_H_
+
+#include <cstdint>
+
+#include "src/common/config.h"
+
+namespace bamboo {
+
+// The contention-policy layer: every protocol decision the lock manager
+// used to make by switching on Config::protocol is captured in a small
+// vtable-free descriptor (the stmgc contention-manager shape: admission
+// rule, wound rule, retire eligibility, repair hook as plain data). The
+// descriptor is resolved *per LockEntry* -- in fixed mode all tier slots
+// hold the protocol's descriptor, in adaptive mode the entry's temperature
+// tier picks cold / warm / pathological variants. Soundness-critical
+// gates that must not vary per entry (the pinned-raw-reader write abort,
+// CTS observation/retention for Opt-3 snapshots) stay global in the lock
+// manager; see DESIGN.md "Per-entry contention policy".
+
+/// What to do with a conflicting holder (owner or uncommitted retired).
+enum class ConflictRule : uint8_t {
+  kAbort,         ///< no-wait: the requester aborts on any conflict
+  kDieYounger,    ///< wait-die: requester dies unless older than all holders
+  kWoundYounger,  ///< wound-wait/Bamboo: requester wounds younger holders
+};
+
+/// Whether owners may move to the retired list (early lock release).
+enum class RetireMode : uint8_t {
+  kNever,  ///< plain 2PL: locks are held to commit; no cascade bookkeeping
+  kHonor,  ///< Bamboo: retire when the caller asks (Opt-2 tail writes skip)
+  kForce,  ///< pathological: fused RMWs always retire, even tail writes
+};
+
+/// Per-entry protocol descriptor. Plain data, compared and copied freely;
+/// resolved under the shard latch via the entry's tier.
+struct ContentionPolicy {
+  ConflictRule conflict = ConflictRule::kWoundYounger;
+  RetireMode retire = RetireMode::kHonor;
+  /// Opt 1: shared grants are placed directly on the retired list.
+  bool retire_reads = false;
+  /// Opt 3: readers older than all uncommitted retired writers take the
+  /// raw-snapshot branch instead of wounding.
+  bool raw_read = false;
+  /// Escalated wound rule: an older requester also wounds younger
+  /// *waiters* whose requests conflict, collapsing pile-ups faster.
+  bool wound_waiters = false;
+  /// Run the wait-die waiter-order repair hook after queue mutations.
+  bool waitdie_repair = false;
+};
+
+/// Descriptor for a fixed protocol (what the deleted switch sites did).
+/// kSilo never reaches the lock manager; it maps to the conservative
+/// wound-wait shape so the path stays well-defined if ever hit.
+inline ContentionPolicy FixedPolicy(const Config& cfg) {
+  ContentionPolicy p;
+  switch (cfg.protocol) {
+    case Protocol::kBamboo:
+      p.conflict = ConflictRule::kWoundYounger;
+      p.retire = RetireMode::kHonor;
+      p.retire_reads = cfg.bb_opt_read_retire;
+      p.raw_read = cfg.bb_opt_raw_read;
+      break;
+    case Protocol::kWoundWait:
+    case Protocol::kIc3:
+    case Protocol::kSilo:
+      p.conflict = ConflictRule::kWoundYounger;
+      p.retire = RetireMode::kNever;
+      break;
+    case Protocol::kWaitDie:
+      p.conflict = ConflictRule::kDieYounger;
+      p.retire = RetireMode::kNever;
+      p.waitdie_repair = true;
+      break;
+    case Protocol::kNoWait:
+      p.conflict = ConflictRule::kAbort;
+      p.retire = RetireMode::kNever;
+      break;
+  }
+  return p;
+}
+
+/// Cold tier: plain 2PL admission (no-wait), retire skipped entirely --
+/// no retired-list placement, no commit-order barriers, no cascade
+/// bookkeeping on rows that see no contention. No-wait over the queueing
+/// rules for two reasons. Deadlock-safety under per-entry mixing: Bamboo
+/// and wound-wait point wait edges young->old while wait-die points them
+/// old->young, so a wait-die cold tier next to Bamboo warm tiers can close
+/// a cycle neither rule alone permits; abort-on-conflict creates no wait
+/// edge at all and composes with every tier. And cost: a cold row's rare
+/// conflict is cheapest resolved by the requester backing off immediately
+/// -- parking hands the lock through the FIFO waiter queue to threads the
+/// scheduler may not run next (a convoy on oversubscribed cores), while a
+/// row that keeps conflicting heats past the threshold and graduates to
+/// the Bamboo tiers, which queue properly.
+inline ContentionPolicy ColdPolicy() {
+  ContentionPolicy p;
+  p.conflict = ConflictRule::kAbort;
+  p.retire = RetireMode::kNever;
+  return p;
+}
+
+/// Pathological tier: full Bamboo plus an escalated wound rule (waiters
+/// too) and forced fused-RMW retirement (Opt-2 tail exemption overridden:
+/// under a cascade storm, releasing the hotspot early always pays).
+inline ContentionPolicy HotPolicy(const Config& cfg) {
+  ContentionPolicy p = FixedPolicy(cfg);
+  p.retire = RetireMode::kForce;
+  p.wound_waiters = true;
+  return p;
+}
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_DB_POLICY_H_

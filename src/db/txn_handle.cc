@@ -574,8 +574,11 @@ void TxnHandle::WriteDone() {
   if (txn_->IsAborted()) return;
   for (auto it = accesses_.rbegin(); it != accesses_.rend(); ++it) {
     if (it->type == LockType::kEX && it->state == AccState::kOwner) {
-      if (!TailWrite()) {
-        lm_->Retire(it->row, it->token);
+      // The Opt-2 tail decision rides along as a hint: the entry's
+      // ContentionPolicy has the final say (cold tiers skip every retire
+      // without taking the latch, the pathological tier retires even tail
+      // writes).
+      if (lm_->Retire(it->row, it->token, TailWrite())) {
         it->state = AccState::kRetired;
       }
       return;

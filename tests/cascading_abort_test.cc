@@ -31,6 +31,7 @@ void TestRetiredWriterAbortCascades() {
   Config cfg;
   cfg.protocol = Protocol::kBamboo;
   cfg.bb_opt_raw_read = false;
+  cfg.policy_mode = PolicyMode::kFixed;  // deterministic retire motion
   std::atomic<uint64_t> ts{0};
   std::atomic<uint64_t> cts{1};
   LockManager lm(cfg, &ts, &cts);
@@ -69,6 +70,8 @@ void TestRetiredWriterAbortCascades() {
 void TestCommitDependenciesDrainInOrder() {
   Config cfg;
   cfg.protocol = Protocol::kBamboo;
+  cfg.bb_opt_raw_read = false;  // force the dirty read for R below
+  cfg.policy_mode = PolicyMode::kFixed;  // deterministic retire motion
   std::atomic<uint64_t> ts{0};
   std::atomic<uint64_t> cts{1};
   LockManager lm(cfg, &ts, &cts);
@@ -93,7 +96,6 @@ void TestCommitDependenciesDrainInOrder() {
   CHECK_EQ(w2.commit_semaphore.load(), 1);  // WAW dependency on W1
   *reinterpret_cast<uint64_t*>(g2.write_data) = 2;
   lm.Retire(&row, g2.token);
-  cfg.bb_opt_raw_read = false;  // force the dirty read for R
   AccessGrant g3 = Acquire(&lm, &row, &r, LockType::kSH, buf);
   CHECK(g3.rc == AcqResult::kGranted);
   CHECK_EQ(*reinterpret_cast<uint64_t*>(buf), 2u);  // newest dirty version
@@ -129,6 +131,7 @@ void TestBarrierCutoffAtNewestExConflict() {
   Config cfg;
   cfg.protocol = Protocol::kBamboo;
   cfg.bb_opt_raw_read = false;  // force dirty reads through the lock table
+  cfg.policy_mode = PolicyMode::kFixed;  // deterministic retire motion
   std::atomic<uint64_t> ts{0};
   std::atomic<uint64_t> cts{1};
   LockManager lm(cfg, &ts, &cts);
@@ -381,6 +384,7 @@ void BeginWithTs(Database* db, TxnCB* cb, uint64_t ts) {
 void TestRawReadCrossRowSnapshotForbidsAnomaly() {
   Config cfg;
   cfg.protocol = Protocol::kBamboo;  // all four optimizations on
+  cfg.policy_mode = PolicyMode::kFixed;  // deterministic raw-read/retire path
   Database db(cfg);
   Schema schema;
   schema.AddColumn("balance", 8);
@@ -434,6 +438,7 @@ void TestRawReadCrossRowSnapshotForbidsAnomaly() {
 void TestRawReadServesConsistentSnapshot() {
   Config cfg;
   cfg.protocol = Protocol::kBamboo;
+  cfg.policy_mode = PolicyMode::kFixed;  // deterministic raw-read/retire path
   Database db(cfg);
   Schema schema;
   schema.AddColumn("balance", 8);
@@ -503,6 +508,7 @@ void TestRawReadServesConsistentSnapshot() {
 void TestRawReadMakesTransactionReadOnly() {
   Config cfg;
   cfg.protocol = Protocol::kBamboo;
+  cfg.policy_mode = PolicyMode::kFixed;  // deterministic raw-read/retire path
   Database db(cfg);
   Schema schema;
   schema.AddColumn("balance", 8);
@@ -579,6 +585,7 @@ void TestRawReadMakesTransactionReadOnly() {
 void TestRawReadAbortsWhenSnapshotImageGone() {
   Config cfg;
   cfg.protocol = Protocol::kBamboo;
+  cfg.policy_mode = PolicyMode::kFixed;  // deterministic raw-read/retire path
   std::atomic<uint64_t> ts{0};
   std::atomic<uint64_t> cts{1};
   LockManager lm(cfg, &ts, &cts);

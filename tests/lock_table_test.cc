@@ -14,8 +14,14 @@ namespace bamboo {
 namespace {
 
 struct Fixture {
-  explicit Fixture(Protocol p) {
+  explicit Fixture(Protocol p, bool raw_read = true) {
     cfg.protocol = p;
+    // Deterministic tier-free semantics: the adaptive CI leg
+    // (BB_POLICY_MODE=adaptive) must not demote these single-access rows
+    // to the cold tier mid-assertion. Knobs must be set before the
+    // LockManager exists -- it resolves its policy table in the ctor.
+    cfg.policy_mode = PolicyMode::kFixed;
+    cfg.bb_opt_raw_read = raw_read;
     lm = new LockManager(cfg, &ts_counter, &cts_counter);
   }
   ~Fixture() { delete lm; }
@@ -174,8 +180,7 @@ void TestBambooReadRetiresAtAcquire() {
 }
 
 void TestBambooAcquireBehindRetiredWriter() {
-  Fixture f(Protocol::kBamboo);
-  f.cfg.bb_opt_raw_read = false;  // force the dirty-read path
+  Fixture f(Protocol::kBamboo, /*raw_read=*/false);  // force dirty reads
   TxnCB* writer = MakeTxn(1);
   TxnCB* reader = MakeTxn(2);
   ThreadStats stats;

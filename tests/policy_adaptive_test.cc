@@ -1,0 +1,427 @@
+// The adaptive contention-policy layer: per-entry temperature tracking,
+// deterministic tier transitions (cold / warm / pathological) with decay
+// back, the cold tier's retire-skip invariant (no-wait 2PL admission, no
+// dependents, no waiter convoys), the pathological tier's escalations
+// (forced tail retire, waiter wounding), Config::Validate, and a
+// concurrent lost-update audit of the adaptive mode under a
+// mixed-temperature load.
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/db/database.h"
+#include "src/db/lock_table.h"
+#include "src/db/txn.h"
+#include "src/db/txn_handle.h"
+#include "src/storage/row.h"
+#include "tests/test_util.h"
+
+namespace bamboo {
+namespace {
+
+/// Low deterministic thresholds: one conflicting submit (+256) crosses
+/// warm, three cross hot (0 -> 256 -> 496 -> 721 with the t -= t>>4 decay).
+Config AdaptiveCfg() {
+  Config cfg;
+  cfg.protocol = Protocol::kBamboo;
+  cfg.policy_mode = PolicyMode::kAdaptive;
+  cfg.policy_warm_threshold = 100;
+  cfg.policy_hot_threshold = 600;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(const Config& c) : cfg(c) {
+    lm = new LockManager(cfg, &ts_counter, &cts_counter);
+  }
+  ~Fixture() { delete lm; }
+
+  AccessGrant Sh(Row* row, TxnCB* t) {
+    AccessRequest req;
+    req.row = row;
+    req.type = LockType::kSH;
+    req.read_buf = buf;
+    return lm->Submit(req, t);
+  }
+  AccessGrant Ex(Row* row, TxnCB* t) {
+    AccessRequest req;
+    req.row = row;
+    req.type = LockType::kEX;
+    return lm->Submit(req, t);
+  }
+  AccessGrant ExRmw(Row* row, TxnCB* t, RmwFn fn, bool retire_now) {
+    AccessRequest req;
+    req.row = row;
+    req.type = LockType::kEX;
+    req.rmw_fn = fn;
+    req.retire_now = retire_now;
+    return lm->Submit(req, t);
+  }
+
+  Config cfg;
+  std::atomic<uint64_t> ts_counter{0};
+  std::atomic<uint64_t> cts_counter{1};
+  LockManager* lm;
+  char buf[8];
+};
+
+TxnCB* MakeTxn(uint64_t ts) {
+  TxnCB* t = new TxnCB();
+  t->ts.store(ts);
+  return t;
+}
+
+void BumpU64(char* d, void*) {
+  uint64_t v;
+  std::memcpy(&v, d, 8);
+  v++;
+  std::memcpy(d, &v, 8);
+}
+
+/// Drive `row`'s temperature with one EX holder and `n` conflicting SH
+/// submits that are immediately abandoned. Returns the holder's grant; the
+/// caller releases it. Timestamps: holder gets `ts`, the probes get
+/// younger ones so they never wound.
+AccessGrant HeatWithConflicts(Fixture* f, Row* row, TxnCB* holder, int n) {
+  AccessGrant gh = f->Ex(row, holder);
+  CHECK(gh.rc == AcqResult::kGranted);
+  for (int i = 0; i < n; i++) {
+    TxnCB* probe = MakeTxn(100 + static_cast<uint64_t>(i));
+    AccessGrant gp = f->Sh(row, probe);
+    // While the row is still cold its no-wait admission aborts the probe
+    // outright (nothing enqueued, nothing to release); once it heats to
+    // warm, Bamboo parks the younger probe instead.
+    if (gp.rc == AcqResult::kWait) {
+      f->lm->Release(row, gp.token, /*committed=*/false);
+    } else {
+      CHECK(gp.rc == AcqResult::kAbort);
+    }
+    delete probe;
+  }
+  return gh;
+}
+
+void TestTierTransitionsDeterministic() {
+  Fixture f(AdaptiveCfg());
+  CHECK(f.lm->adaptive());
+  Row row(8);
+
+  // Fresh entries start warm; the first uncontended access demotes.
+  TxnCB* t0 = MakeTxn(1);
+  AccessGrant g0 = f.Sh(&row, t0);
+  CHECK(g0.rc == AcqResult::kGranted);
+  f.lm->Release(&row, g0.token, /*committed=*/true);
+  delete t0;
+  CHECK_EQ(f.lm->DebugTier(&row), 1);
+  CHECK_EQ(f.lm->DebugTemp(&row), 0u);
+
+  // Conflicting submits heat it: cold -> warm after one (+256 crosses
+  // 100), warm -> pathological after three (721 crosses 600).
+  TxnCB* holder = MakeTxn(2);
+  AccessGrant gh = f.Ex(&row, holder);
+  CHECK(gh.rc == AcqResult::kGranted);
+  CHECK_EQ(f.lm->DebugTier(&row), 1);  // uncontended holder: still cold
+
+  // The first conflicting probe hits the still-cold entry: its no-wait
+  // admission aborts the probe (no queue entry), but the conflict itself
+  // heats the row across the warm threshold.
+  TxnCB* p1 = MakeTxn(10);
+  AccessGrant gp = f.Sh(&row, p1);
+  CHECK(gp.rc == AcqResult::kAbort);
+  delete p1;
+  CHECK_EQ(f.lm->DebugTemp(&row), 256u);
+  CHECK_EQ(f.lm->DebugTier(&row), 0);
+
+  TxnCB* p2 = MakeTxn(11);
+  gp = f.Sh(&row, p2);
+  CHECK(gp.rc == AcqResult::kWait);
+  f.lm->Release(&row, gp.token, false);
+  delete p2;
+  CHECK_EQ(f.lm->DebugTemp(&row), 496u);
+  CHECK_EQ(f.lm->DebugTier(&row), 0);
+
+  TxnCB* p3 = MakeTxn(12);
+  gp = f.Sh(&row, p3);
+  CHECK(gp.rc == AcqResult::kWait);
+  f.lm->Release(&row, gp.token, false);
+  delete p3;
+  CHECK_EQ(f.lm->DebugTemp(&row), 721u);
+  CHECK_EQ(f.lm->DebugTier(&row), 2);
+
+  holder->status.store(TxnStatus::kCommitted);
+  f.lm->Release(&row, gh.token, true);
+  delete holder;
+
+  // Uncontended traffic decays it back to cold (t -= t>>4 per submit:
+  // ~31 submits from 721 down past 100).
+  int decays = 0;
+  while (f.lm->DebugTier(&row) != 1 && decays < 100) {
+    TxnCB* t = MakeTxn(500 + static_cast<uint64_t>(decays));
+    AccessGrant g = f.Sh(&row, t);
+    CHECK(g.rc == AcqResult::kGranted);
+    if (g.token != nullptr) f.lm->Release(&row, g.token, true);
+    delete t;
+    decays++;
+  }
+  CHECK_EQ(f.lm->DebugTier(&row), 1);
+  CHECK(decays >= 25 && decays <= 40);
+
+  // Transition accounting: heats = cold->warm + warm->pathological; cools
+  // = the initial demote plus the decay stepping down through warm
+  // (pathological->warm->cold). The row ends cold.
+  uint64_t heats = 0, cools = 0, cold_rows = 0, hot_rows = 0;
+  f.lm->PolicyTierTotals(&heats, &cools, &cold_rows, &hot_rows);
+  CHECK_EQ(heats, 2u);
+  CHECK_EQ(cools, 3u);
+  CHECK_EQ(cold_rows, 1u);
+  CHECK_EQ(hot_rows, 0u);
+}
+
+void TestColdSkipsRetire() {
+  Fixture f(AdaptiveCfg());
+  Row row(8);
+
+  // Demote the row to the cold tier with one uncontended access.
+  TxnCB* t0 = MakeTxn(1);
+  AccessGrant g0 = f.Sh(&row, t0);
+  CHECK(g0.rc == AcqResult::kGranted);
+  f.lm->Release(&row, g0.token, true);
+  delete t0;
+  CHECK_EQ(f.lm->DebugTier(&row), 1);
+
+  // A fused RMW's retire_now hint is ignored on a cold row: the grant
+  // stays in owners (plain 2PL).
+  TxnCB* w = MakeTxn(2);
+  AccessGrant gw = f.ExRmw(&row, w, BumpU64, /*retire_now=*/true);
+  CHECK(gw.rc == AcqResult::kGranted);
+  CHECK(!gw.retired);
+  CHECK_EQ(f.lm->OwnerCount(&row), 1u);
+  CHECK_EQ(f.lm->RetiredCount(&row), 0u);
+
+  // An explicit Retire is skipped too -- without ever taking the latch.
+  CHECK(!f.lm->Retire(&row, gw.token));
+  CHECK_EQ(f.lm->OwnerCount(&row), 1u);
+  CHECK_EQ(f.lm->RetiredCount(&row), 0u);
+
+  // A conflicting reader is turned away no-wait style (no dirty grant, no
+  // commit dependency, nothing enqueued): the cold tier never creates
+  // cascade edges or waiter convoys.
+  TxnCB* r = MakeTxn(3);
+  AccessGrant gr = f.Sh(&row, r);
+  CHECK(gr.rc == AcqResult::kAbort);
+  CHECK_EQ(r->commit_semaphore.load(), 0);
+  CHECK_EQ(f.lm->WaiterCount(&row), 0u);
+  delete r;
+
+  w->status.store(TxnStatus::kCommitted);
+  f.lm->Release(&row, gw.token, true);
+  delete w;
+}
+
+void TestPathologicalEscalation() {
+  Fixture f(AdaptiveCfg());
+  Row row(8);
+
+  // Heat the row into the pathological tier.
+  TxnCB* heater = MakeTxn(2);
+  AccessGrant gh = HeatWithConflicts(&f, &row, heater, 3);
+  CHECK_EQ(f.lm->DebugTier(&row), 2);
+  heater->status.store(TxnStatus::kCommitted);
+  f.lm->Release(&row, gh.token, true);
+  delete heater;
+
+  // Forced retirement: a fused RMW retires at the grant even without the
+  // retire_now hint (kForce overrides it)...
+  TxnCB* w = MakeTxn(3);
+  AccessGrant gw = f.ExRmw(&row, w, BumpU64, /*retire_now=*/false);
+  CHECK(gw.rc == AcqResult::kGranted);
+  CHECK(gw.retired);
+  CHECK_EQ(f.lm->RetiredCount(&row), 1u);
+  w->status.store(TxnStatus::kCommitted);
+  f.lm->Release(&row, gw.token, true);
+  delete w;
+  CHECK_EQ(f.lm->DebugTier(&row), 2);
+
+  // ...and a plain write retires even as an Opt-2 tail write.
+  TxnCB* w2 = MakeTxn(4);
+  AccessGrant gw2 = f.Ex(&row, w2);
+  CHECK(gw2.rc == AcqResult::kGranted);
+  CHECK(!gw2.retired);
+  CHECK(f.lm->Retire(&row, gw2.token, /*tail_write=*/true));
+  CHECK_EQ(f.lm->RetiredCount(&row), 1u);
+  w2->status.store(TxnStatus::kCommitted);
+  f.lm->Release(&row, gw2.token, true);
+  delete w2;
+
+  // Escalated wound rule: an older arrival wounds younger *waiters* too,
+  // not just owners/retired -- queue-jumping on a pathological row.
+  TxnCB* holder = MakeTxn(5);
+  TxnCB* waiter = MakeTxn(20);
+  TxnCB* mid = MakeTxn(10);
+  AccessGrant go = f.Ex(&row, holder);
+  CHECK(go.rc == AcqResult::kGranted);
+  AccessGrant gwait = f.Ex(&row, waiter);
+  CHECK(gwait.rc == AcqResult::kWait);
+  CHECK(waiter->status.load() != TxnStatus::kAborted);
+  AccessGrant gmid = f.Ex(&row, mid);
+  CHECK(gmid.rc == AcqResult::kWait);  // holder is older: mid still waits
+  CHECK(waiter->status.load() == TxnStatus::kAborted);
+  CHECK(holder->status.load() != TxnStatus::kAborted);
+
+  f.lm->Release(&row, gmid.token, false);
+  f.lm->Release(&row, gwait.token, false);
+  holder->status.store(TxnStatus::kCommitted);
+  f.lm->Release(&row, go.token, true);
+  delete holder;
+  delete waiter;
+  delete mid;
+}
+
+void TestValidateConfig() {
+  {
+    Config cfg;
+    std::vector<std::string> warnings;
+    CHECK(cfg.Validate(&warnings).empty());
+    CHECK(warnings.empty());
+  }
+  {
+    // Degenerate shard counts clamp (shard_routing_test pins the clamping
+    // contract), so they warn instead of erroring.
+    Config cfg;
+    cfg.lock_shards = 0;
+    std::vector<std::string> warnings;
+    CHECK(cfg.Validate(&warnings).empty());
+    CHECK(!warnings.empty());
+  }
+  {
+    Config cfg;
+    cfg.bb_delta = 1.5;
+    CHECK(!cfg.Validate().empty());
+  }
+  {
+    Config cfg;
+    cfg.policy_warm_threshold = 600;
+    cfg.policy_hot_threshold = 600;
+    CHECK(!cfg.Validate().empty());
+  }
+  {
+    Config cfg;
+    cfg.log_enabled = true;
+    cfg.log_dir.clear();
+    CHECK(!cfg.Validate().empty());
+  }
+  {
+    // Silently-ignored combos warn but pass: bb_opt_* under wound-wait,
+    // adaptive mode under a non-Bamboo protocol (normalized to fixed).
+    Config cfg;
+    cfg.protocol = Protocol::kWoundWait;
+    cfg.policy_mode = PolicyMode::kAdaptive;
+    std::vector<std::string> warnings;
+    CHECK(cfg.Validate(&warnings).empty());
+    CHECK(!warnings.empty());
+
+    std::atomic<uint64_t> ts{0}, cts{1};
+    LockManager lm(cfg, &ts, &cts);
+    CHECK(!lm.adaptive());  // normalized: adaptive is Bamboo-only
+  }
+  {
+    Config cfg = AdaptiveCfg();
+    std::atomic<uint64_t> ts{0}, cts{1};
+    LockManager lm(cfg, &ts, &cts);
+    CHECK(lm.adaptive());
+  }
+}
+
+// Concurrency audit: the adaptive selector must not lose updates while
+// rows migrate between tiers mid-run. Every committed transaction bumps
+// the hotspot row once and one cold row once; after the run the hotspot
+// value must equal the committed count exactly (TSan-clean under
+// scripts/run_sanitizers.sh).
+void TestAdaptiveMixedStress() {
+  Config cfg = AdaptiveCfg();
+  cfg.num_threads = 4;
+  Database db(cfg);
+  Schema schema;
+  schema.AddColumn("val", 8);
+  Table* table = db.catalog()->CreateTable("mix", schema);
+  HashIndex* hot = db.catalog()->CreateIndex("hot_pk", 1);
+  HashIndex* cold = db.catalog()->CreateIndex("cold_pk", 64);
+  Row* hot_row = db.LoadRow(table, hot, 0);
+  std::vector<Row*> cold_rows;
+  for (uint64_t k = 0; k < 64; k++) {
+    cold_rows.push_back(db.LoadRow(table, cold, k));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 2000;
+  std::atomic<uint64_t> commits{0};
+  std::vector<uint64_t> cold_committed(64, 0);
+  std::mutex cold_mu;
+
+  auto worker = [&](int id) {
+    ThreadStats stats;
+    TxnCB txn;
+    txn.stats = &stats;
+    TxnHandle h(&db, &txn);
+    Rng rng(0xada9full + static_cast<uint64_t>(id));
+    uint64_t local_cold[64] = {};
+    for (int i = 0; i < kTxnsPerThread; i++) {
+      txn.txn_seq.fetch_add(1, std::memory_order_relaxed);
+      txn.ResetForAttempt(false);
+      db.cc()->Begin(&txn);
+      txn.planned_ops = 3;
+      uint64_t ck = rng.Uniform(64);
+      bool ok = h.UpdateRmw(hot, 0, BumpU64, nullptr) == RC::kOk;
+      if (ok) {
+        char* d = nullptr;
+        ok = h.Update(cold, ck, &d) == RC::kOk;
+        if (ok) {
+          BumpU64(d, nullptr);
+          h.WriteDone();
+        }
+      }
+      if (ok) {
+        const char* rd = nullptr;
+        ok = h.Read(cold, rng.Uniform(64), &rd) == RC::kOk;
+      }
+      if (h.Commit(ok ? RC::kOk : RC::kAbort) == RC::kOk && ok) {
+        commits.fetch_add(1);
+        local_cold[ck]++;
+      }
+    }
+    std::lock_guard<std::mutex> g(cold_mu);
+    for (int k = 0; k < 64; k++) cold_committed[k] += local_cold[k];
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+
+  auto row_value = [](Row* r) {
+    uint64_t v;
+    std::memcpy(&v, r->base(), 8);
+    return v;
+  };
+  CHECK(commits.load() > 0);
+  CHECK_EQ(row_value(hot_row), commits.load());
+  for (int k = 0; k < 64; k++) {
+    CHECK_EQ(row_value(cold_rows[static_cast<size_t>(k)]),
+             cold_committed[static_cast<size_t>(k)]);
+  }
+}
+
+}  // namespace
+}  // namespace bamboo
+
+int main() {
+  using namespace bamboo;
+  RUN_TEST(TestTierTransitionsDeterministic);
+  RUN_TEST(TestColdSkipsRetire);
+  RUN_TEST(TestPathologicalEscalation);
+  RUN_TEST(TestValidateConfig);
+  RUN_TEST(TestAdaptiveMixedStress);
+  return bamboo::test::Summary("policy_adaptive_test");
+}

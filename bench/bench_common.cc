@@ -55,6 +55,9 @@ Options FromEnv() {
   // Default-on flag: only an explicit leading '0' disables the fsync.
   const char* fs = std::getenv("BB_LOG_FSYNC");
   o.log_fsync = fs == nullptr || fs[0] != '0';
+  o.ckpt = EnvFlag("BB_CKPT");
+  o.ckpt_interval_us = EnvDouble("BB_CKPT_INTERVAL_US", 250000.0);
+  if (o.ckpt_interval_us <= 0) o.ckpt_interval_us = 250000.0;
   return o;
 }
 
@@ -74,6 +77,8 @@ Config Options::BaseConfig() const {
     cfg.log_dir = log_dir;
     cfg.log_epoch_us = log_epoch_us;
     cfg.log_fsync = log_fsync;
+    cfg.ckpt_enabled = ckpt;
+    cfg.ckpt_interval_us = ckpt_interval_us;
   }
   return cfg;
 }

@@ -26,6 +26,9 @@ namespace bench {
 ///                       (default: unset, logging off)
 ///   BB_LOG_EPOCH_US     group-commit epoch length in us   (default 10000)
 ///   BB_LOG_FSYNC=0      skip the per-epoch fsync          (default on)
+///   BB_CKPT=1           enable background fuzzy checkpointing (needs
+///                       BB_LOG_DIR; default off)
+///   BB_CKPT_INTERVAL_US checkpoint interval in us         (default 250000)
 ///
 /// Default sweeps are sized for a small multi-core box; the paper's axes
 /// are preserved (thread counts beyond the core count exercise identical
@@ -40,6 +43,8 @@ struct Options {
   std::string log_dir;  ///< empty = logging off
   double log_epoch_us = 10000.0;
   bool log_fsync = true;
+  bool ckpt = false;
+  double ckpt_interval_us = 250000.0;
 
   /// Thread sweep for "vary thread count" figures.
   std::vector<int> ThreadSweep() const;

@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "bench/bench_common.h"
+#include "src/common/failpoint.h"
 
 namespace {
 
@@ -100,6 +101,55 @@ void RunMixedTemperature(const bamboo::bench::Options& opt) {
             "skipping retire bookkeeping on the cold majority");
 }
 
+/// Durability under fault injection: the clean logged baseline, the same
+/// mix with a 1% probabilistic fsync fault (retry/backoff must absorb it:
+/// zero failed acks, health back to healthy), and the checkpointing run
+/// (pause and byte cost of the fuzzy snapshot). Needs BB_LOG_DIR; row
+/// names are stable awk keys (DUR_*) for scripts/bench_snapshot.sh.
+void RunDurabilityFaults(const bamboo::bench::Options& opt) {
+  using namespace bamboo;
+  using namespace bamboo::bench;
+  if (opt.log_dir.empty()) {
+    std::printf("\n== Durability fault table skipped: set BB_LOG_DIR ==\n");
+    return;
+  }
+  TablePrinter tbl(
+      "Durability faults, Bamboo logged YCSB theta=0.9 rr=0.5",
+      {"config", "throughput(txn/s)", "wal_retries", "ack_failed",
+       "ro_rejects", "ckpts", "ckpt_kB", "pause_us_max", "trunc_segs",
+       "health"});
+  const int threads = opt.threads > 0 ? opt.threads : 8;
+  auto run_one = [&](const char* name, const char* fault, bool ckpt) {
+    Config cfg = opt.BaseConfig();
+    cfg.protocol = Protocol::kBamboo;
+    cfg.num_threads = threads;
+    cfg.ycsb_zipf_theta = 0.9;
+    cfg.ycsb_read_ratio = 0.5;
+    if (ckpt) {
+      cfg.ckpt_enabled = true;
+      cfg.ckpt_interval_us = 50000;  // several checkpoints per bench window
+    }
+    if (fault != nullptr) Failpoints::ArmForTest(fault);
+    RunResult r = RunYcsb(cfg);
+    if (fault != nullptr) Failpoints::DisarmForTest("wal_fsync_error");
+    tbl.AddRow({name, FmtThroughput(r),
+                std::to_string(r.total.wal_retries),
+                std::to_string(r.total.commits_ack_failed),
+                std::to_string(r.total.readonly_rejects),
+                std::to_string(r.total.ckpt_count),
+                Fmt(static_cast<double>(r.total.ckpt_bytes) / 1024.0, 1),
+                std::to_string(r.total.ckpt_pause_us_max),
+                std::to_string(r.total.wal_truncated_segments),
+                WalHealthName(static_cast<WalHealth>(r.total.health_state))});
+  };
+  run_one("DUR_CLEAN", nullptr, false);
+  run_one("DUR_FAULTY", "wal_fsync_error:p=0.01", false);
+  run_one("DUR_CKPT", nullptr, true);
+  tbl.Print("the faulty run must absorb every transient fsync error "
+            "(ack_failed=0, health=healthy); the checkpoint run prices the "
+            "fuzzy snapshot in pause and bytes");
+}
+
 }  // namespace
 
 int main() {
@@ -117,6 +167,14 @@ int main() {
   // BB_MIXED_ONLY=1: just the adaptive-vs-fixed mixed-temperature table.
   if (std::getenv("BB_MIXED_ONLY") != nullptr) {
     RunMixedTemperature(opt);
+    return 0;
+  }
+
+  // BB_DUR_ONLY=1: just the durability fault-injection table (needs
+  // BB_LOG_DIR; bench_snapshot.sh uses this for the durability_faults
+  // section).
+  if (std::getenv("BB_DUR_ONLY") != nullptr) {
+    RunDurabilityFaults(opt);
     return 0;
   }
 
@@ -172,5 +230,6 @@ int main() {
             "wounds");
   RunShardSweep(opt);
   RunMixedTemperature(opt);
+  RunDurabilityFaults(opt);
   return 0;
 }

@@ -11,7 +11,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr8.json}"
+OUT="${2:-BENCH_pr9.json}"
 
 if [ ! -x "$BUILD_DIR/bench_single_hotspot" ]; then
   cmake -B "$BUILD_DIR" -S .
@@ -68,6 +68,27 @@ log_out=$(BB_BENCH_DURATION="$DUR" BB_BENCH_WARMUP="$WARM" \
           BB_LOG_DIR="$LOG_DIR" "$BUILD_DIR/bench_single_hotspot")
 bamboo_log_tput=$(printf '%s\n' "$log_out" | awk '$1=="BAMBOO"'" $to_num")
 ww_log_tput=$(printf '%s\n' "$log_out" | awk '$1=="WOUND_WAIT"'" $to_num")
+
+# Durability fault injection (DUR_* rows from bench_opt_ablation): the
+# clean logged baseline, a 1% probabilistic fsync fault (retry/backoff
+# must absorb it: ack_failed stays 0 and health returns to HEALTHY), and
+# the checkpointing run's pause/byte cost.
+dur_out=$(BB_BENCH_DURATION="$DUR" BB_BENCH_WARMUP="$WARM" \
+          BB_LOG_DIR="$LOG_DIR/dur" BB_DUR_ONLY=1 \
+          "$BUILD_DIR/bench_opt_ablation")
+pick_col() { printf '%s\n' "$dur_out" | awk -v row="$1" -v col="$2" \
+             '$1==row {print $col+0; exit}'; }
+dur_clean_tput=$(printf '%s\n' "$dur_out" | awk '$1=="DUR_CLEAN"'" $to_num")
+dur_faulty_tput=$(printf '%s\n' "$dur_out" | awk '$1=="DUR_FAULTY"'" $to_num")
+dur_ckpt_tput=$(printf '%s\n' "$dur_out" | awk '$1=="DUR_CKPT"'" $to_num")
+dur_faulty_retries=$(pick_col DUR_FAULTY 3)
+dur_faulty_ack_failed=$(pick_col DUR_FAULTY 4)
+dur_faulty_health=$(printf '%s\n' "$dur_out" | \
+                    awk '$1=="DUR_FAULTY" {print $10; exit}')
+dur_ckpt_count=$(pick_col DUR_CKPT 6)
+dur_ckpt_kb=$(pick_col DUR_CKPT 7)
+dur_ckpt_pause_us=$(pick_col DUR_CKPT 8)
+dur_ckpt_trunc=$(pick_col DUR_CKPT 9)
 
 # Lock-table microbenchmarks (ns/op), when google-benchmark is available.
 sh_ns=null; ex_ns=null; txn16_ns=null; chain_ns=null; multiget_ns=null
@@ -135,6 +156,19 @@ cat > "$OUT" <<EOF
     "bamboo_log_on_off_ratio": $(awk -v a="${bamboo_log_tput:-0}" \
         -v b="${bamboo_tput:-0}" \
         'BEGIN { if (b > 0) printf "%.3f", a / b; else print "null" }')
+  },
+  "durability_faults": {
+    "note": "logged YCSB theta=0.9 rr=0.5; faulty run injects wal_fsync_error with p=0.01 (bounded retry/backoff must absorb it); ckpt run checkpoints every 50ms",
+    "clean_txn_per_s": ${dur_clean_tput:-null},
+    "faulty_txn_per_s": ${dur_faulty_tput:-null},
+    "faulty_wal_retries": ${dur_faulty_retries:-null},
+    "faulty_commits_ack_failed": ${dur_faulty_ack_failed:-null},
+    "faulty_health": "${dur_faulty_health:-unknown}",
+    "ckpt_txn_per_s": ${dur_ckpt_tput:-null},
+    "ckpt_count": ${dur_ckpt_count:-null},
+    "ckpt_kb": ${dur_ckpt_kb:-null},
+    "ckpt_pause_us_max": ${dur_ckpt_pause_us:-null},
+    "wal_truncated_segments": ${dur_ckpt_trunc:-null}
   },
   "lock_micro_ns": {
     "acquire_release_sh": $sh_ns,

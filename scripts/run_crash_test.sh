@@ -5,10 +5,13 @@
 #
 #   scripts/run_crash_test.sh <build-dir> [iteration]
 #
-# The iteration number (default 1) varies the crash site: most iterations
-# die right after a durable-epoch advance (clean tail, maximal acked set);
-# every third dies mid-batch-write (torn tail, no marker). ctest runs
-# iteration 1; CI loops the iteration number for coverage.
+# The iteration number (default 1) varies the crash site across six modes:
+# after a durable-epoch advance (clean tail, maximal acked set), mid-batch
+# write (torn tail, no marker), and four checkpoint chaos modes (crash mid
+# checkpoint body, crash after publish but before WAL truncation, a torn
+# checkpoint tail followed by a WAL crash, and a crash between healthy
+# checkpoints). ctest runs iterations 1 (plain WAL) and 2 (checkpoint);
+# CI loops the iteration number for coverage.
 set -eu
 
 BUILD_DIR="${1:?usage: run_crash_test.sh <build-dir> [iteration]}"
@@ -25,16 +28,29 @@ trap 'rm -rf "$DIR"' EXIT INT TERM
 # Deterministic per-iteration variety. wal_crash_after_durable counts
 # durable-epoch advances (one per non-empty ~300us epoch in the child), so
 # 20..119 kills within the first ~40ms of commit traffic;
-# wal_crash_mid_write counts non-empty batch writes.
-if [ "$((ITER % 3))" -eq 0 ]; then
-  FP="wal_crash_mid_write:$((ITER % 4 + 1))"
-else
-  FP="wal_crash_after_durable:$((ITER * 13 % 100 + 20))"
-fi
+# wal_crash_mid_write counts non-empty batch writes. The checkpoint modes
+# run the background checkpointer every ~30ms (BB_CRASH_CKPT_US) so the
+# ckpt_* failpoints fire within the first few checkpoint rounds.
+CKPT_US=""
+case "$((ITER % 6))" in
+  0) FP="wal_crash_mid_write:$((ITER % 4 + 1))" ;;
+  1) FP="wal_crash_after_durable:$((ITER * 13 % 100 + 20))" ;;
+  2) FP="ckpt_crash_mid_write:$((ITER % 2 + 1))"
+     CKPT_US=30000 ;;
+  3) FP="ckpt_crash_before_truncate:$((ITER % 2 + 1))"
+     CKPT_US=30000 ;;
+  4) # Tear the first checkpoint's tail, then die on a later durable
+     # advance: recovery must reject the torn file and still come back
+     # consistent (from the log alone or from a later good checkpoint).
+     FP="ckpt_torn_tail:1,wal_crash_after_durable:$((ITER * 13 % 100 + 150))"
+     CKPT_US=30000 ;;
+  *) FP="wal_crash_after_durable:$((ITER * 13 % 100 + 120))"
+     CKPT_US=25000 ;;
+esac
 
-echo "crash-test iter $ITER: failpoint $FP"
+echo "crash-test iter $ITER: failpoint $FP ckpt_us=${CKPT_US:-off}"
 set +e
-BB_FAILPOINT="$FP" "$BIN" child "$DIR"
+BB_FAILPOINT="$FP" BB_CRASH_CKPT_US="$CKPT_US" "$BIN" child "$DIR"
 rc=$?
 set -e
 if [ "$rc" -ne 137 ]; then

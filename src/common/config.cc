@@ -53,6 +53,18 @@ const char* ProtocolName(Protocol p) {
   return "UNKNOWN";
 }
 
+const char* WalHealthName(WalHealth h) {
+  switch (h) {
+    case WalHealth::kHealthy:
+      return "HEALTHY";
+    case WalHealth::kDegraded:
+      return "DEGRADED";
+    case WalHealth::kReadOnly:
+      return "READ_ONLY";
+  }
+  return "UNKNOWN";
+}
+
 const char* ProtocolName(const Config& cfg) {
   if (cfg.policy_mode == PolicyMode::kAdaptive &&
       cfg.protocol == Protocol::kBamboo) {
@@ -73,6 +85,9 @@ std::string Config::Validate(std::vector<std::string>* warnings) const {
   if (policy_warm_threshold >= policy_hot_threshold) {
     return "policy_warm_threshold must be < policy_hot_threshold";
   }
+  if (log_retry_max < 0) return "log_retry_max must be >= 0";
+  if (log_retry_backoff_us < 0.0) return "log_retry_backoff_us must be >= 0";
+  if (ckpt_interval_us <= 0.0) return "ckpt_interval_us must be > 0";
 
   // Warnings: combos that are silently ignored/normalized. Database
   // construction prints each distinct warning once per process.
@@ -93,6 +108,10 @@ std::string Config::Validate(std::vector<std::string>* warnings) const {
   if (log_enabled && protocol == Protocol::kSilo) {
     warn("log_enabled is ignored under SILO (the WAL rides the lock-based "
          "commit path)");
+  }
+  if (ckpt_enabled && !log_enabled) {
+    warn("ckpt_enabled is ignored without log_enabled (checkpoints cover "
+         "WAL epochs; there is nothing to truncate)");
   }
   if (lock_shards < 1) {
     warn("lock_shards < 1; the lock manager clamps it to 1");

@@ -61,7 +61,27 @@ enum class RC {
   kUserAbort,  ///< logic abort requested by the transaction itself
   kPending,    ///< commit handed off (detached); outcome arrives via
                ///< TxnCB::detach_state (runner-managed workers only)
+  kReadOnlyMode,  ///< writer rejected: the WAL exhausted its I/O retries and
+                  ///< the engine degraded to read-only (see WalHealth)
 };
+
+/// Durability health ladder (src/db/wal.h drives the transitions; the lock
+/// manager reads it to reject new writers in read-only mode).
+///
+///   kHealthy  - epochs write + fsync cleanly; durability acks flow.
+///   kDegraded - the writer is retrying a transient I/O fault with backoff;
+///               commits keep executing but the durable watermark (and thus
+///               acks) stalls, visible as durable-lag in stats. The state
+///               returns to kHealthy when a retry succeeds.
+///   kReadOnly - retries exhausted (or a hard I/O error): the log can no
+///               longer accept writes. New EX lock requests are rejected
+///               with RC::kReadOnlyMode; readers and in-flight commits
+///               drain normally (their durability is never acked).
+///
+/// Numeric order is the severity ladder; stats max-merge the value.
+enum class WalHealth : uint8_t { kHealthy = 0, kDegraded = 1, kReadOnly = 2 };
+
+const char* WalHealthName(WalHealth h);
 
 /// One struct drives every layer: the lock manager reads the protocol and
 /// the four Bamboo ablation switches, the workloads read their scale knobs,
@@ -87,6 +107,24 @@ struct Config {
   double log_epoch_us = 10000.0;
   /// fsync per epoch (off trades crash safety for I/O-bound test speed).
   bool log_fsync = true;
+  /// Transient-I/O-fault budget: a failed epoch write/fsync is retried up
+  /// to this many times with exponential backoff before the engine
+  /// degrades to read-only. 0 restores the old fail-fast behavior (first
+  /// fault lands in kReadOnly immediately).
+  int log_retry_max = 8;
+  /// Base backoff before retry k sleeps `log_retry_backoff_us << k` (caps
+  /// at ~100ms per step). Keep it well under log_epoch_us so one absorbed
+  /// fault costs less than an epoch.
+  double log_retry_backoff_us = 200.0;
+
+  // --- Fuzzy checkpoints (src/db/checkpoint.h). Requires the WAL: the
+  // checkpoint's covered epoch is a WAL rotation boundary and recovery
+  // pairs the newest valid checkpoint with the WAL suffix behind it.
+  /// Run a background checkpointer that periodically snapshots committed
+  /// row images and truncates WAL segments behind the previous checkpoint.
+  bool ckpt_enabled = false;
+  /// Interval between background checkpoint passes.
+  double ckpt_interval_us = 250000.0;
 
   /// Lock-table shards: the per-tuple queues are latched per *shard* (a
   /// stable hash of the row's (table, key) identity), so latch traffic

@@ -11,28 +11,48 @@ namespace bamboo {
 
 /// Env-driven fault injection for the durability path.
 ///
-///   BB_FAILPOINT="name:N[,name:N...]"
+///   BB_FAILPOINT="name:TRIGGER[,name:TRIGGER...]"
 ///
-/// arms `name` to fire on its Nth evaluation (N >= 1); each point fires at
-/// most once per process. Points currently wired into the WAL writer:
+/// with three trigger grammars:
 ///
-///   wal_short_write         cap one write() to a single byte, exercising
-///                           the partial-write retry loop
-///   wal_fsync_error         report one fsync failure; the log goes
-///                           failed-sticky and stops advancing durability
-///   wal_crash_mid_write     persist only half of this epoch's batch, then
-///                           SIGKILL (leaves a torn tail on disk)
-///   wal_crash_after_durable SIGKILL right after the Nth durable-epoch
-///                           advance (acknowledged state is on disk)
+///   name:N        fire exactly once, on the Nth evaluation (N >= 1)
+///   name:every=N  fire on every Nth evaluation (periodic, never exhausts)
+///   name:p=0.01   fire each evaluation independently with probability p
+///
+/// Points currently wired in:
+///
+///   wal_short_write          cap one write() to a single byte, exercising
+///                            the partial-write retry loop
+///   wal_fsync_error          report an fsync failure (EIO); classified as
+///                            transient and absorbed by the retry/backoff
+///                            loop unless retries exhaust
+///   wal_write_enospc         report ENOSPC from the epoch write; transient
+///                            classification, same retry path
+///   wal_write_eintr          report EINTR from the epoch write; retried
+///                            inline without consuming a backoff attempt
+///   wal_crash_mid_write      persist only half of this epoch's batch, then
+///                            SIGKILL (leaves a torn tail on disk)
+///   wal_crash_after_durable  SIGKILL right after the Nth durable-epoch
+///                            advance (acknowledged state is on disk)
+///   ckpt_crash_mid_write     SIGKILL halfway through writing a checkpoint
+///                            temp file (no rename happened; recovery must
+///                            fall back to the previous checkpoint)
+///   ckpt_torn_tail           truncate the checkpoint temp file's tail just
+///                            before the atomic rename (recovery must detect
+///                            the damage and fall back)
+///   ckpt_crash_before_truncate  SIGKILL after the checkpoint rename but
+///                            before WAL segments behind it are deleted
+///                            (recovery must prefer the checkpoint and
+///                            replay only the suffix)
 ///
 /// When BB_FAILPOINT is unset (the default) every Eval is one branch on a
 /// cold flag, so the hooks can stay compiled into release builds.
 class Failpoints {
  public:
-  /// True exactly when `name`'s armed countdown hits zero on this call.
+  /// True exactly when `name`'s armed trigger fires on this call.
   static bool Eval(const char* name) {
     Failpoints& fp = Instance();
-    if (!fp.armed_) return false;
+    if (!fp.armed_.load(std::memory_order_acquire)) return false;
     return fp.EvalSlow(name);
   }
 
@@ -42,49 +62,151 @@ class Failpoints {
     _exit(137);  // unreachable unless SIGKILL is somehow blocked
   }
 
+  /// Test hook: arm (or re-arm, replacing any prior trigger of the same
+  /// name) a single point from the same "name:TRIGGER" grammar as the env.
+  /// Call only while no other thread evaluates failpoints. Returns false on
+  /// a malformed spec or a full table.
+  static bool ArmForTest(const char* spec) {
+    Failpoints& fp = Instance();
+    const char* end = spec;
+    if (!fp.ParseOne(spec, &end)) return false;
+    fp.armed_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  /// Test hook: disarm one point by name (no-op when absent).
+  static void DisarmForTest(const char* name) {
+    Failpoints& fp = Instance();
+    for (int i = 0; i < fp.n_points_; i++) {
+      if (std::strcmp(fp.points_[i].name, name) == 0) {
+        fp.points_[i].mode = Mode::kOff;
+      }
+    }
+  }
+
  private:
-  static constexpr int kMaxPoints = 8;
+  static constexpr int kMaxPoints = 16;
+  enum class Mode : uint8_t { kOff, kOneShot, kEvery, kProb };
   struct Point {
     char name[48] = {0};
-    std::atomic<uint64_t> remaining{0};
+    Mode mode = Mode::kOff;
+    std::atomic<uint64_t> remaining{0};  ///< one-shot countdown
+    uint64_t every = 0;                  ///< periodic modulus
+    std::atomic<uint64_t> count{0};      ///< periodic evaluation counter
+    uint64_t prob_threshold = 0;         ///< p scaled to [0, 2^64)
   };
 
   Failpoints() {
     const char* env = std::getenv("BB_FAILPOINT");
     if (env == nullptr || env[0] == '\0') return;
     const char* p = env;
-    while (*p != '\0' && n_points_ < kMaxPoints) {
-      const char* colon = std::strchr(p, ':');
-      if (colon == nullptr) break;
-      size_t len = static_cast<size_t>(colon - p);
-      if (len == 0 || len >= sizeof(Point::name)) break;
-      Point& pt = points_[n_points_];
-      std::memcpy(pt.name, p, len);
-      pt.name[len] = '\0';
-      char* end = nullptr;
-      uint64_t n = std::strtoull(colon + 1, &end, 10);
-      if (end == colon + 1 || n == 0) break;  // malformed: stop parsing
-      pt.remaining.store(n, std::memory_order_relaxed);
-      n_points_++;
-      p = (*end == ',') ? end + 1 : end;
+    while (*p != '\0') {
+      const char* end = nullptr;
+      if (!ParseOne(p, &end)) break;  // malformed: stop parsing
       if (*end != ',') break;
+      p = end + 1;
     }
-    armed_ = n_points_ > 0;
+    armed_.store(n_points_ > 0, std::memory_order_release);
+  }
+
+  /// Parse one "name:TRIGGER" at `p`; on success *end points past the
+  /// trigger (at ',' or '\0'). Replaces an existing point of the same name.
+  bool ParseOne(const char* p, const char** end) {
+    const char* colon = std::strchr(p, ':');
+    if (colon == nullptr) return false;
+    size_t len = static_cast<size_t>(colon - p);
+    if (len == 0 || len >= sizeof(Point::name)) return false;
+
+    // Find (or allocate) the slot for this name.
+    int slot = -1;
+    for (int i = 0; i < n_points_; i++) {
+      if (std::strncmp(points_[i].name, p, len) == 0 &&
+          points_[i].name[len] == '\0') {
+        slot = i;
+        break;
+      }
+    }
+    if (slot < 0) {
+      if (n_points_ >= kMaxPoints) return false;
+      slot = n_points_;
+    }
+    Point& pt = points_[slot];
+
+    const char* spec = colon + 1;
+    char* num_end = nullptr;
+    Mode mode;
+    uint64_t remaining = 0, every = 0, prob_threshold = 0;
+    if (std::strncmp(spec, "every=", 6) == 0) {
+      uint64_t n = std::strtoull(spec + 6, &num_end, 10);
+      if (num_end == spec + 6 || n == 0) return false;
+      mode = Mode::kEvery;
+      every = n;
+    } else if (std::strncmp(spec, "p=", 2) == 0) {
+      double prob = std::strtod(spec + 2, &num_end);
+      if (num_end == spec + 2 || prob < 0.0 || prob > 1.0) return false;
+      mode = Mode::kProb;
+      // p scaled to a 64-bit threshold; p=1.0 must always fire.
+      prob_threshold = prob >= 1.0
+                           ? ~0ULL
+                           : static_cast<uint64_t>(
+                                 prob * 18446744073709551616.0 /* 2^64 */);
+    } else {
+      uint64_t n = std::strtoull(spec, &num_end, 10);
+      if (num_end == spec || n == 0) return false;
+      mode = Mode::kOneShot;
+      remaining = n;
+    }
+
+    std::memcpy(pt.name, p, len);
+    pt.name[len] = '\0';
+    pt.remaining.store(remaining, std::memory_order_relaxed);
+    pt.every = every;
+    pt.count.store(0, std::memory_order_relaxed);
+    pt.prob_threshold = prob_threshold;
+    pt.mode = mode;
+    if (slot == n_points_) n_points_++;
+    *end = num_end;
+    return true;
   }
 
   bool EvalSlow(const char* name) {
     for (int i = 0; i < n_points_; i++) {
       if (std::strcmp(points_[i].name, name) != 0) continue;
-      uint64_t r = points_[i].remaining.load(std::memory_order_relaxed);
-      while (r > 0) {
-        if (points_[i].remaining.compare_exchange_weak(
-                r, r - 1, std::memory_order_relaxed)) {
-          return r == 1;  // the Nth evaluation fires
+      Point& pt = points_[i];
+      switch (pt.mode) {
+        case Mode::kOff:
+          return false;
+        case Mode::kOneShot: {
+          uint64_t r = pt.remaining.load(std::memory_order_relaxed);
+          while (r > 0) {
+            if (pt.remaining.compare_exchange_weak(
+                    r, r - 1, std::memory_order_relaxed)) {
+              return r == 1;  // the Nth evaluation fires
+            }
+          }
+          return false;
         }
+        case Mode::kEvery: {
+          uint64_t c = pt.count.fetch_add(1, std::memory_order_relaxed) + 1;
+          return c % pt.every == 0;
+        }
+        case Mode::kProb:
+          return NextRand() < pt.prob_threshold;
       }
       return false;
     }
     return false;
+  }
+
+  /// Lock-free xorshift64 shared across threads: racy CAS-free updates are
+  /// fine — any interleaving still yields well-mixed bits.
+  uint64_t NextRand() {
+    uint64_t x = rng_.load(std::memory_order_relaxed);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rng_.store(x, std::memory_order_relaxed);
+    return x * 0x2545F4914F6CDD1DULL;
   }
 
   static Failpoints& Instance() {
@@ -92,9 +214,10 @@ class Failpoints {
     return fp;
   }
 
-  bool armed_ = false;
+  std::atomic<bool> armed_{false};
   int n_points_ = 0;
   Point points_[kMaxPoints];
+  std::atomic<uint64_t> rng_{0x9E3779B97F4A7C15ULL};
 };
 
 }  // namespace bamboo

@@ -49,6 +49,25 @@ struct alignas(kCacheLineSize) ThreadStats {
   /// Commits whose durable ack was still gated by a retired-chain
   /// dependency's epoch when they first checked the watermark.
   uint64_t commits_awaiting_dep = 0;
+  /// Measured commits whose durability was never acknowledged because the
+  /// log failed (WaitResult::kFailed); counted separately from commits.
+  uint64_t commits_ack_failed = 0;
+  /// Writer attempts rejected with RC::kReadOnlyMode (WAL in kReadOnly).
+  uint64_t readonly_rejects = 0;
+  /// Transient I/O faults absorbed by the WAL writer's retry/backoff loop.
+  uint64_t wal_retries = 0;
+  /// WAL segments deleted behind a completed checkpoint.
+  uint64_t wal_truncated_segments = 0;
+
+  // --- fuzzy checkpoints (Checkpointer::FillStats, folded in at run end).
+  uint64_t ckpt_count = 0;  ///< checkpoints completed (renamed into place)
+  uint64_t ckpt_bytes = 0;  ///< bytes written into completed checkpoints
+  /// Longest single shard-latch hold while snapshotting rows, in
+  /// microseconds (max-merged: the worst pause anywhere in the run).
+  uint64_t ckpt_pause_us_max = 0;
+  /// Worst WalHealth observed (numeric ladder, max-merged): 0 healthy,
+  /// 1 degraded, 2 read-only.
+  uint64_t health_state = 0;
 
   // --- adaptive contention policy (LockManager::PolicyTierTotals, folded
   // in at run end; all zero in fixed policy mode). heats/cools count tier
@@ -79,6 +98,18 @@ struct alignas(kCacheLineSize) ThreadStats {
     log_fsyncs += o.log_fsyncs;
     durable_lag_epochs += o.durable_lag_epochs;
     commits_awaiting_dep += o.commits_awaiting_dep;
+    commits_ack_failed += o.commits_ack_failed;
+    readonly_rejects += o.readonly_rejects;
+    wal_retries += o.wal_retries;
+    wal_truncated_segments += o.wal_truncated_segments;
+    ckpt_count += o.ckpt_count;
+    ckpt_bytes += o.ckpt_bytes;
+    if (o.ckpt_pause_us_max > ckpt_pause_us_max) {
+      ckpt_pause_us_max = o.ckpt_pause_us_max;  // worst pause, not a sum
+    }
+    if (o.health_state > health_state) {
+      health_state = o.health_state;  // worst health observed, not a sum
+    }
     policy_heats += o.policy_heats;
     policy_cools += o.policy_cools;
     policy_cold_rows += o.policy_cold_rows;

@@ -1,0 +1,375 @@
+#include "src/db/checkpoint.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/common/failpoint.h"
+#include "src/db/database.h"
+#include "src/db/wal.h"
+
+namespace bamboo {
+
+namespace {
+
+constexpr char kHeaderMagic[8] = {'B', 'B', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr char kFooterMagic[8] = {'B', 'B', 'C', 'K', 'P', 'T', 'F', 'T'};
+constexpr size_t kHeaderBytes = 8 + 24 + 4;  // magic, 3x u64, crc
+constexpr size_t kRowFixed = 4 + 4 + 8 + 8 + 4;  // crc..img_size
+constexpr size_t kFooterBytes = 8;
+
+void PutU32(std::vector<char>* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->insert(out->end(), b, b + 4);
+}
+
+void PutU64(std::vector<char>* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->insert(out->end(), b, b + 8);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+bool WriteFull(int fd, const char* p, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+struct ParsedRow {
+  uint32_t table_id;
+  uint64_t key;
+  uint64_t cts;
+  uint32_t img_size;
+  const char* image;
+};
+
+/// Full validation of one checkpoint file image; all-or-nothing.
+bool ParseCheckpoint(const std::vector<char>& buf, uint64_t* covered_epoch,
+                     uint64_t* max_cts, std::vector<ParsedRow>* rows) {
+  if (buf.size() < kHeaderBytes + kFooterBytes) return false;
+  const char* p = buf.data();
+  if (std::memcmp(p, kHeaderMagic, 8) != 0) return false;
+  if (walfmt::Crc32(p + 8, 24) != GetU32(p + 32)) return false;
+  uint64_t covered = GetU64(p + 8);
+  uint64_t hdr_max_cts = GetU64(p + 16);
+  uint64_t row_count = GetU64(p + 24);
+
+  size_t off = kHeaderBytes;
+  rows->clear();
+  rows->reserve(row_count < (1u << 20) ? row_count : (1u << 20));
+  for (uint64_t i = 0; i < row_count; i++) {
+    if (buf.size() - off < kRowFixed) return false;
+    uint32_t crc = GetU32(p + off);
+    uint32_t img_size = GetU32(p + off + 24);
+    if (buf.size() - off - kRowFixed < img_size) return false;
+    // Row CRC covers table_id..image (everything after the crc field).
+    if (walfmt::Crc32(p + off + 4, kRowFixed - 4 + img_size) != crc) {
+      return false;
+    }
+    ParsedRow r;
+    r.table_id = GetU32(p + off + 4);
+    r.key = GetU64(p + off + 8);
+    r.cts = GetU64(p + off + 16);
+    r.img_size = img_size;
+    r.image = img_size > 0 ? p + off + kRowFixed : nullptr;
+    rows->push_back(r);
+    off += kRowFixed + img_size;
+  }
+  // The footer must close the file exactly: trailing garbage means the
+  // file is not what the writer renamed into place.
+  if (buf.size() - off != kFooterBytes) return false;
+  if (std::memcmp(p + off, kFooterMagic, 8) != 0) return false;
+  *covered_epoch = covered;
+  *max_cts = hdr_max_cts;
+  return true;
+}
+
+bool ReadWholeFile(const std::string& path, std::vector<char>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size == 0) {
+    ::close(fd);
+    return false;
+  }
+  out->resize(static_cast<size_t>(st.st_size));
+  size_t got = 0;
+  while (got < out->size()) {
+    ssize_t r = ::read(fd, out->data() + got, out->size() - got);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    got += static_cast<size_t>(r);
+  }
+  ::close(fd);
+  return true;
+}
+
+void FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+std::string CkptPath(const std::string& dir, uint32_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%06u", seq);
+  return dir + "/" + name;
+}
+
+std::string CkptTmpPath(const std::string& dir, uint32_t seq) {
+  return CkptPath(dir, seq) + ".tmp";
+}
+
+uint32_t CkptSeqOf(const char* name) {
+  if (std::strncmp(name, "ckpt-", 5) != 0) return 0;
+  char* end = nullptr;
+  unsigned long v = std::strtoul(name + 5, &end, 10);
+  if (end == name + 5 || v == 0 || v > 0xffffffffUL) return 0;
+  if (*end != '\0') return 0;  // ".tmp" and friends are not checkpoints
+  return static_cast<uint32_t>(v);
+}
+
+CkptLoadResult LoadNewestCheckpoint(const std::string& dir, Database* db) {
+  CkptLoadResult res;
+  std::vector<uint32_t> seqs;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* ent = ::readdir(d)) {
+      uint32_t seq = CkptSeqOf(ent->d_name);
+      if (seq > 0) seqs.push_back(seq);
+    }
+    ::closedir(d);
+  }
+  std::sort(seqs.rbegin(), seqs.rend());  // newest first
+
+  std::vector<char> buf;
+  std::vector<ParsedRow> rows;
+  for (uint32_t seq : seqs) {
+    uint64_t covered = 0;
+    uint64_t max_cts = 0;
+    if (!ReadWholeFile(CkptPath(dir, seq), &buf) ||
+        !ParseCheckpoint(buf, &covered, &max_cts, &rows)) {
+      res.rejected++;  // damaged: fall back to the previous checkpoint
+      continue;
+    }
+    for (const ParsedRow& r : rows) {
+      HashIndex* index = db->RecoveryIndex(r.table_id);
+      Row* row = index != nullptr ? index->Get(r.key) : nullptr;
+      if (row == nullptr || r.img_size != row->size()) continue;
+      if (r.cts >= row->base_cts()) {
+        row->RecoverInstall(r.image, r.cts);
+        res.rows_installed++;
+      }
+    }
+    res.loaded = true;
+    res.seq = seq;
+    res.covered_epoch = covered;
+    res.max_cts = max_cts;
+    return res;
+  }
+  return res;
+}
+
+Checkpointer::Checkpointer(const Config& cfg, Database* db, Wal* wal)
+    : db_(db),
+      wal_(wal),
+      interval_us_(cfg.ckpt_interval_us > 0 ? cfg.ckpt_interval_us
+                                            : 250000.0) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+Checkpointer::~Checkpointer() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Checkpointer::Loop() {
+  // Sleep in short slices so destruction never waits a whole interval.
+  constexpr double kSliceUs = 1000.0;
+  for (;;) {
+    double slept = 0;
+    while (slept < interval_us_) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      double step = std::min(kSliceUs, interval_us_ - slept);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(step));
+      slept += step;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    RunOnce();
+  }
+}
+
+bool Checkpointer::RunOnce() {
+  if (wal_->health() != WalHealth::kHealthy) return false;
+
+  // 1. Rotate: everything with epoch <= boundary is durable in segments
+  //    below new_seq; everything later lands in new_seq or later.
+  uint64_t boundary = 0;
+  uint32_t new_seq = 0;
+  if (!wal_->RotateSegment(&boundary, &new_seq)) return false;
+
+  // 2. Wait until every logged commit at or below the boundary has
+  //    installed its after-images into the rows -- only then does a base
+  //    image walked under the shard latch contain it.
+  while (wal_->MinUnreleasedEpoch() <= boundary) {
+    if (stop_.load(std::memory_order_acquire) ||
+        wal_->health() == WalHealth::kReadOnly) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  // 3. Walk every row, one shard latch at a time (never two), copying the
+  //    committed base image + CTS. Concurrent commits past the boundary
+  //    may or may not be included -- that is the fuzziness, and it is
+  //    harmless: replaying the suffix is idempotent under the CTS guard.
+  const std::string& dir = wal_->dir();
+  Catalog* cat = db_->catalog();
+  LockManager* locks = db_->cc()->locks();
+  std::vector<char> body;
+  std::vector<char> img;
+  uint64_t row_count = 0;
+  uint64_t max_cts = 0;
+  uint64_t pause_max_us = 0;
+  for (size_t t = 0; t < cat->table_count(); t++) {
+    Table* tbl = cat->TableAt(t);
+    const uint64_t n = tbl->row_count();
+    for (uint64_t i = 0; i < n; i++) {
+      Row* row = tbl->RowAt(i);
+      img.resize(row->size());
+      auto t0 = std::chrono::steady_clock::now();
+      uint64_t cts = locks->SnapshotRowForCheckpoint(row, img.data());
+      uint64_t us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      if (us > pause_max_us) pause_max_us = us;
+      size_t start = body.size();
+      PutU32(&body, 0);  // crc placeholder
+      PutU32(&body, row->wal_table_id());
+      PutU64(&body, row->wal_key());
+      PutU64(&body, cts);
+      PutU32(&body, static_cast<uint32_t>(img.size()));
+      body.insert(body.end(), img.begin(), img.end());
+      uint32_t crc =
+          walfmt::Crc32(body.data() + start + 4, body.size() - start - 4);
+      std::memcpy(body.data() + start, &crc, 4);
+      if (cts > max_cts) max_cts = cts;
+      row_count++;
+    }
+  }
+
+  // 4. Write temp file, fsync, atomic rename, fsync the directory.
+  uint32_t seq = next_seq_.load(std::memory_order_relaxed);
+  std::vector<char> head;
+  head.insert(head.end(), kHeaderMagic, kHeaderMagic + 8);
+  PutU64(&head, boundary);
+  PutU64(&head, max_cts);
+  PutU64(&head, row_count);
+  PutU32(&head, walfmt::Crc32(head.data() + 8, 24));
+  std::string tmp = CkptTmpPath(dir, seq);
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    std::fprintf(stderr, "ckpt: cannot open %s: %s\n", tmp.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  bool ok = WriteFull(fd, head.data(), head.size());
+  if (ok && Failpoints::Eval("ckpt_crash_mid_write")) {
+    WriteFull(fd, body.data(), body.size() / 2);  // torn temp, no rename
+    Failpoints::Crash();
+  }
+  ok = ok && WriteFull(fd, body.data(), body.size());
+  ok = ok && WriteFull(fd, kFooterMagic, 8);
+  const uint64_t total = head.size() + body.size() + kFooterBytes;
+  if (ok && Failpoints::Eval("ckpt_torn_tail")) {
+    // Damage the tail *before* the rename: the visible checkpoint file is
+    // then invalid and recovery must fall back to the previous one.
+    ::ftruncate(fd, static_cast<off_t>(total - (kFooterBytes + 1)));
+  }
+  ok = ok && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), CkptPath(dir, seq).c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  FsyncDir(dir);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(total, std::memory_order_relaxed);
+  uint64_t prev_pause = pause_us_max_.load(std::memory_order_relaxed);
+  while (pause_max_us > prev_pause &&
+         !pause_us_max_.compare_exchange_weak(prev_pause, pause_max_us,
+                                              std::memory_order_relaxed)) {
+  }
+  if (Failpoints::Eval("ckpt_crash_before_truncate")) Failpoints::Crash();
+
+  // 5. Retention: keep this checkpoint and the previous one, plus every
+  //    WAL segment the *previous* one still needs -- so if this file turns
+  //    out damaged, recovery falls back to a checkpoint whose entire
+  //    suffix still exists.
+  uint64_t deleted = 0;
+  for (uint32_t s = 1; s < prev_suffix_seq_; s++) {
+    if (::unlink(Wal::SegmentPath(dir, s).c_str()) == 0) deleted++;
+  }
+  for (uint32_t c = 1; c + 1 < seq; c++) {
+    ::unlink(CkptPath(dir, c).c_str());
+  }
+  if (deleted > 0) {
+    truncated_segments_.fetch_add(deleted, std::memory_order_relaxed);
+    FsyncDir(dir);
+  }
+  prev_suffix_seq_ = new_seq;
+  next_seq_.store(seq + 1, std::memory_order_release);
+  return true;
+}
+
+void Checkpointer::FillStats(ThreadStats* s) const {
+  s->ckpt_count += count_.load(std::memory_order_relaxed);
+  s->ckpt_bytes += bytes_.load(std::memory_order_relaxed);
+  s->wal_truncated_segments +=
+      truncated_segments_.load(std::memory_order_relaxed);
+  uint64_t p = pause_us_max_.load(std::memory_order_relaxed);
+  if (p > s->ckpt_pause_us_max) s->ckpt_pause_us_max = p;
+}
+
+}  // namespace bamboo

@@ -1,0 +1,119 @@
+#ifndef BAMBOO_SRC_DB_CHECKPOINT_H_
+#define BAMBOO_SRC_DB_CHECKPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "src/common/config.h"
+#include "src/common/stats.h"
+
+namespace bamboo {
+
+class Database;
+class Wal;
+
+/// Checkpoint file format (`ckpt-NNNNNN`, monotonically increasing
+/// sequence numbers; written as `ckpt-NNNNNN.tmp` + fsync + atomic
+/// rename, so a visible checkpoint file is always complete on a healthy
+/// disk and validation catches it when it is not):
+///
+///   header  u8  magic[8]        "BBCKPT01"
+///           u64 covered_epoch   every commit with epoch <= this is inside
+///           u64 max_cts         highest base CTS among the row images
+///           u64 row_count       rows that follow
+///           u32 crc             CRC-32C over the three u64s above
+///   row*    u32 crc             CRC-32C over table_id..image
+///           u32 table_id
+///           u64 key
+///           u64 cts             the row's committed base CTS
+///           u32 img_size
+///           u8  image[img_size]
+///   footer  u8  magic[8]        "BBCKPTFT" (must end the file exactly)
+///
+/// A checkpoint is valid iff the magics match, the header CRC matches,
+/// exactly row_count rows parse with matching CRCs, and the footer closes
+/// the file. Anything else (torn tail, bit flip, truncation) rejects the
+/// whole file and recovery falls back to the previous checkpoint.
+std::string CkptPath(const std::string& dir, uint32_t seq);
+std::string CkptTmpPath(const std::string& dir, uint32_t seq);
+/// Parse a checkpoint file name ("ckpt-NNNNNN"); 0 when it is not one
+/// (temp files are not checkpoint files).
+uint32_t CkptSeqOf(const char* name);
+
+/// What LoadNewestCheckpoint found and installed.
+struct CkptLoadResult {
+  bool loaded = false;
+  uint32_t seq = 0;            ///< sequence of the checkpoint used
+  uint64_t covered_epoch = 0;  ///< its epoch-coverage watermark
+  uint64_t max_cts = 0;
+  uint64_t rows_installed = 0;
+  uint32_t rejected = 0;  ///< newer checkpoint files skipped as invalid
+};
+
+/// Load the newest fully-valid checkpoint in `dir` into `db` (row images
+/// installed via the recovery index), skipping damaged ones back to the
+/// previous. Validation is all-or-nothing per file: no row is installed
+/// from a checkpoint that fails anywhere. Called by Database::Recover
+/// before the WAL suffix replay.
+CkptLoadResult LoadNewestCheckpoint(const std::string& dir, Database* db);
+
+/// Background fuzzy checkpointer.
+///
+/// One pass (RunOnce) is: rotate the WAL segment (publishing the boundary
+/// epoch R -- everything <= R is durable in the old segments, everything
+/// later lands in the new one), wait until every logged commit <= R has
+/// installed its after-images into the rows (Wal::MinUnreleasedEpoch),
+/// then walk every row of every table copying its committed base image
+/// under one shard latch at a time, write the checkpoint to a temp file,
+/// fsync, atomically rename, and finally delete WAL segments (and old
+/// checkpoint files) that the *previous* checkpoint no longer needs --
+/// the retention rule keeps the newest two checkpoints, and every segment
+/// the older of the two still depends on, so a torn newest checkpoint
+/// always has a complete fallback. See DESIGN.md "Checkpointing & health
+/// states" for why R is a correct covered_epoch.
+class Checkpointer {
+ public:
+  /// `db` and `wal` must outlive this object (Database owns all three and
+  /// destroys the checkpointer first).
+  Checkpointer(const Config& cfg, Database* db, Wal* wal);
+  ~Checkpointer();
+
+  /// One full checkpoint pass, callable from tests for determinism.
+  /// Returns false when the pass was skipped (WAL unhealthy, rotation
+  /// refused) or failed (I/O error writing the checkpoint); a failed pass
+  /// never deletes anything.
+  bool RunOnce();
+
+  /// Fold checkpoint counters into `s` (pause is max-merged).
+  void FillStats(ThreadStats* s) const;
+
+  uint32_t last_seq() const {
+    return next_seq_.load(std::memory_order_acquire) - 1;
+  }
+
+ private:
+  void Loop();
+
+  Database* db_;
+  Wal* wal_;
+  const double interval_us_;
+  std::atomic<bool> stop_{false};
+
+  std::atomic<uint32_t> next_seq_{1};  ///< next checkpoint file sequence
+  /// First WAL segment of the *previous* checkpoint's suffix: segments
+  /// below it are deleted once a newer checkpoint completes.
+  uint32_t prev_suffix_seq_ = 1;
+
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> pause_us_max_{0};
+  std::atomic<uint64_t> truncated_segments_{0};
+
+  std::thread thread_;
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_DB_CHECKPOINT_H_

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/db/checkpoint.h"
 #include "src/db/wal.h"
 
 namespace bamboo {
@@ -44,6 +45,15 @@ Database::Database(const Config& cfg) : cfg_(cfg), cc_(cfg_) {
       cfg_.protocol != Protocol::kSilo) {
     wal_ = std::make_unique<Wal>(cfg_);
     if (!wal_->ok()) wal_.reset();
+  }
+  if (wal_ != nullptr) {
+    // Let the lock manager reject new writers once the WAL degrades to
+    // read-only: a write that can never be made durable should abort at
+    // admission, not after doing work.
+    cc_.locks()->SetWalHealth(wal_->health_word());
+    if (cfg_.ckpt_enabled) {
+      ckpt_ = std::make_unique<Checkpointer>(cfg_, this, wal_.get());
+    }
   }
 }
 

@@ -15,6 +15,7 @@
 namespace bamboo {
 
 class Wal;
+class Checkpointer;
 struct RecoveryResult;
 
 /// Owns tables and indexes; names are looked up at load time only.
@@ -24,6 +25,10 @@ class Catalog {
   HashIndex* CreateIndex(const std::string& name, uint64_t capacity);
   Table* GetTable(const std::string& name) const;
   HashIndex* GetIndex(const std::string& name) const;
+
+  /// Positional access for whole-catalog scans (checkpointing).
+  size_t table_count() const { return tables_.size(); }
+  Table* TableAt(size_t i) const { return tables_[i].get(); }
 
  private:
   std::vector<std::unique_ptr<Table>> tables_;
@@ -129,6 +134,9 @@ class Database {
   /// The write-ahead log, or nullptr when logging is off (also for the
   /// Silo baseline, whose seqlock commit path bypasses the WAL hooks).
   Wal* wal() const { return wal_.get(); }
+  /// The background checkpointer, or nullptr unless ckpt_enabled and the
+  /// WAL came up healthy.
+  Checkpointer* checkpointer() const { return ckpt_.get(); }
 
   /// Create one row in `table` and register it in `index` under `key`.
   /// Returns the row so loaders can fill in the initial image. Also stamps
@@ -162,6 +170,9 @@ class Database {
   /// Recovery lookup: table id -> the index its rows were loaded under.
   std::vector<HashIndex*> table_index_;
   std::unique_ptr<Wal> wal_;
+  /// Declared after wal_ so it is destroyed first: the checkpointer's
+  /// background thread uses the WAL until it joins.
+  std::unique_ptr<Checkpointer> ckpt_;
 };
 
 }  // namespace bamboo

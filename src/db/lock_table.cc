@@ -373,6 +373,16 @@ void LockManager::ShardLatchTotals(uint64_t* spins, uint64_t* waits) {
   *waits = w;
 }
 
+uint64_t LockManager::SnapshotRowForCheckpoint(Row* row, char* buf) {
+  // One shard latch at a time, never two: the checkpointer calls this per
+  // row, so its walk can never deadlock against the batch APIs' same-shard
+  // runs, and each pause it inflicts on workers is one row's memcpy.
+  LockShard* sh = ShardOf(row);
+  ShardGuard g(sh, nullptr);
+  std::memcpy(buf, row->base(), row->size());
+  return row->base_cts();
+}
+
 void LockManager::PolicyTierTotals(uint64_t* heats, uint64_t* cools,
                                    uint64_t* cold_rows, uint64_t* hot_rows) {
   uint64_t h = 0;
@@ -507,6 +517,18 @@ AccessGrant LockManager::SubmitOne(LockShard* sh, const AccessRequest& req,
                                    TxnCB* txn) {
   Row* row = req.row;
   const LockType type = req.type;
+  // Read-only degradation gate: with the WAL dead, admitting a new writer
+  // would execute work whose durability can never be acknowledged. Reject
+  // it cleanly before it wounds or queues behind anyone; readers (and
+  // writers already past admission) drain normally.
+  if (type == LockType::kEX && wal_health_ != nullptr &&
+      wal_health_->load(std::memory_order_relaxed) ==
+          static_cast<uint8_t>(WalHealth::kReadOnly)) {
+    AccessGrant a;
+    a.rc = AcqResult::kAbort;
+    a.abort_code = AbortCode::kReadOnlyMode;
+    return a;
+  }
   LockEntry* e = row->Lock();
   const uint64_t seq = txn->txn_seq.load(std::memory_order_relaxed);
   // Resolve the entry's policy *before* folding this access into its
@@ -817,6 +839,16 @@ AccessGrant LockManager::UpgradeOne(LockShard* sh, const AccessRequest& req,
     a.token = r;
     a.write_data = r->write_data;
     a.retired = r->queue == ReqQueue::kRetired;
+    return a;
+  }
+  // Read-only degradation gate (same rule as SubmitOne's EX admission):
+  // an upgrade is a new write intent, so it is turned away while the WAL
+  // is read-only. The SH link is untouched -- the caller keeps its read.
+  if (wal_health_ != nullptr &&
+      wal_health_->load(std::memory_order_relaxed) ==
+          static_cast<uint8_t>(WalHealth::kReadOnly)) {
+    a.rc = AcqResult::kAbort;
+    a.abort_code = AbortCode::kReadOnlyMode;
     return a;
   }
   // Pinned transactions are read-only (Opt 3): same rule as a fresh EX

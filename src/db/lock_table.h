@@ -299,6 +299,12 @@ enum class AcqResult {
   kAbort,    ///< caller must abort (no-wait / wait-die decision)
 };
 
+/// Why a grant came back kAbort. Most aborts are protocol decisions
+/// (wound/die/no-wait/validation) and retryable; kReadOnlyMode is an
+/// admission rejection -- the WAL degraded to read-only and new writers
+/// are turned away cleanly (retrying cannot help until the disk heals).
+enum class AbortCode : uint8_t { kProtocol, kReadOnlyMode };
+
 /// Unified request descriptor for every access mode: plain read (kSH +
 /// read_buf), plain write (kEX), fused RMW (kEX + rmw_fn, retiring inside
 /// the grant when retire_now), and SH->EX upgrade (upgrade_of = the SH
@@ -330,6 +336,8 @@ struct AccessGrant {
   bool took_lock = true;   ///< false for Opt-3 snapshot reads
   bool retired = false;    ///< request sits in the retired list (Opt 1 / RMW)
   bool dirty = false;      ///< served from an uncommitted version
+  /// Meaningful for kAbort only: protocol abort vs. read-only rejection.
+  AbortCode abort_code = AbortCode::kProtocol;
   char* write_data = nullptr;  ///< EX: private version image (stable)
 };
 
@@ -449,6 +457,22 @@ class LockManager {
   /// Whether this manager runs the adaptive per-entry selector.
   bool adaptive() const { return adaptive_; }
 
+  /// Wire the WAL's health word into the admission path: while it reads
+  /// WalHealth::kReadOnly, new EX submissions and SH->EX upgrades are
+  /// rejected with AbortCode::kReadOnlyMode (readers, and writers already
+  /// holding their locks, proceed normally). Called once by the Database
+  /// constructor, before workers start; null (the default) disables the
+  /// gate.
+  void SetWalHealth(const std::atomic<uint8_t>* health) {
+    wal_health_ = health;
+  }
+
+  /// Checkpoint snapshot of one row: copy its committed base image and
+  /// return its base CTS, under the row's shard latch (one latch at a
+  /// time, never two -- the checkpointer walks rows through this). `buf`
+  /// must hold row->size() bytes.
+  uint64_t SnapshotRowForCheckpoint(Row* row, char* buf);
+
   /// Test/inspection helpers (latched).
   size_t OwnerCount(Row* row);
   size_t RetiredCount(Row* row);
@@ -562,6 +586,9 @@ class LockManager {
   const Config& cfg_;
   std::atomic<uint64_t>* ts_counter_;
   std::atomic<uint64_t>* cts_counter_;
+  /// WAL health word (WalHealth values), or null when no WAL is attached.
+  /// Read relaxed on the EX admission path; see SetWalHealth.
+  const std::atomic<uint8_t>* wal_health_ = nullptr;
   /// Shard array: power-of-two sized (index = hash & shard_mask_), each
   /// shard on its own cache line.
   std::unique_ptr<LockShard[]> shards_;

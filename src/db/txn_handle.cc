@@ -48,6 +48,7 @@ void TxnHandle::MaybeReset() {
   accesses_.clear();
   seen_rows_.Clear();
   use_row_set_ = false;
+  readonly_rejected_ = false;
   silo_reads_.clear();
   silo_writes_.clear();
   chunk_idx_ = 0;
@@ -92,6 +93,18 @@ char* TxnHandle::ArenaAlloc(uint32_t size) {
 
 RC TxnHandle::FailAttempt() {
   txn_->status.store(TxnStatus::kAborted, std::memory_order_release);
+  return RC::kAbort;
+}
+
+RC TxnHandle::FailGrant(const AccessGrant& g) {
+  FailAttempt();
+  if (g.abort_code == AbortCode::kReadOnlyMode) {
+    // Remembered until the next attempt: workloads funnel every failed op
+    // through Commit, which must report kReadOnlyMode (not kAbort) so the
+    // runner retires the seed instead of retrying a hopeless write.
+    readonly_rejected_ = true;
+    return RC::kReadOnlyMode;
+  }
   return RC::kAbort;
 }
 
@@ -212,7 +225,7 @@ RC TxnHandle::Update(HashIndex* index, uint64_t key, char** data) {
     *data = g.write_data;
     return RC::kOk;
   }
-  if (g.rc != AcqResult::kGranted) return FailAttempt();
+  if (g.rc != AcqResult::kGranted) return FailGrant(g);
   accesses_.push_back(
       {row, LockType::kEX, AccState::kOwner, g.write_data, g.token});
   NoteAccess(row);
@@ -281,7 +294,7 @@ RC TxnHandle::UpdateRmwRow(Row* row, RmwFn fn, void* arg) {
     accesses_.back().data = g.write_data;
     return RC::kOk;
   }
-  if (g.rc != AcqResult::kGranted) return FailAttempt();
+  if (g.rc != AcqResult::kGranted) return FailGrant(g);
   accesses_.push_back({row, LockType::kEX,
                        g.retired ? AccState::kRetired : AccState::kOwner,
                        g.write_data, g.token});
@@ -307,7 +320,7 @@ RC TxnHandle::UpgradeAccess(Access* a, RmwFn fn, void* arg, char** data_out) {
     if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
     g = lm_->Resume(req, txn_, a->token);
   }
-  if (g.rc != AcqResult::kGranted) return FailAttempt();
+  if (g.rc != AcqResult::kGranted) return FailGrant(g);
   a->type = LockType::kEX;
   a->state = g.retired ? AccState::kRetired : AccState::kOwner;
   a->data = g.write_data;
@@ -532,7 +545,7 @@ RC TxnHandle::SubmitPending(LockType type) {
             rg.retired ? AccState::kRetired : AccState::kOwner;
         if (type == LockType::kEX) accesses_.back().data = rg.write_data;
       } else {
-        return FailAttempt();
+        return FailGrant(g);
       }
     }
     done += m;
@@ -609,7 +622,7 @@ RC TxnHandle::Commit(RC user_rc) {
   }
   if (user_rc != RC::kOk || txn_->IsAborted()) {
     Rollback();
-    return RC::kAbort;
+    return readonly_rejected_ ? RC::kReadOnlyMode : RC::kAbort;
   }
   // Snapshot validation (Opt 3): a locked access after the first raw read
   // observed state newer than the pinned snapshot, so the raw reads and
@@ -701,6 +714,10 @@ RC TxnHandle::Commit(RC user_rc) {
   }
   LogCommitRecords();
   ReleaseAll(/*committed=*/true);
+  // The after-images are installed (releases done): tell the WAL this
+  // thread's logged commit is no longer in flight, so a fuzzy checkpoint
+  // boundary can advance past its epoch. Same thread as LogCommit.
+  if (txn_->log_epoch != 0) db_->wal()->InstallDone();
   accesses_.clear();
   return RC::kOk;
 }
@@ -755,6 +772,9 @@ void TxnHandle::CompleteDetached() {
     txn_->status.store(TxnStatus::kAborted, std::memory_order_release);
   }
   int wounded = ReleaseAll(committed);
+  // The completer thread ran LogCommit above, so the in-flight pairing
+  // stays thread-local even for handed-off commits.
+  if (committed && txn_->log_epoch != 0) db_->wal()->InstallDone();
   accesses_.clear();
   // Publish the outcome last; the origin worker reclaims the slot and does
   // the stats accounting (this may be a foreign thread, so it must not

@@ -209,6 +209,10 @@ class TxnHandle {
   /// Mark the attempt doomed (no-wait/wait-die decisions, missing rows) so
   /// a later Commit(kOk) cannot commit the partial footprint.
   RC FailAttempt();
+  /// FailAttempt for a refused grant, preserving the refusal's abort code:
+  /// a kReadOnlyMode rejection (WAL degraded to read-only) surfaces as
+  /// RC::kReadOnlyMode so the runner retires the seed instead of retrying.
+  RC FailGrant(const AccessGrant& g);
   /// Park until the pending lock request is granted or this txn is
   /// wounded. Returns the ns spent parked. (With BAMBOO_DEBUG_STUCK it
   /// polls and dumps the row's queues when stuck.)
@@ -256,6 +260,9 @@ class TxnHandle {
   LockManager* lm_;
   uint64_t seen_seq_ = ~0ull;
   bool detach_allowed_ = false;
+  /// This attempt hit the WAL's read-only gate; Commit reports
+  /// kReadOnlyMode so the caller stops retrying. Reset per attempt.
+  bool readonly_rejected_ = false;
 
   std::vector<Access> accesses_;
   RowSet seen_rows_;

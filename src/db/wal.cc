@@ -1,15 +1,18 @@
 #include "src/db/wal.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "src/common/failpoint.h"
+#include "src/db/checkpoint.h"
 #include "src/db/database.h"
 
 namespace bamboo {
@@ -121,20 +124,76 @@ struct BufferCache {
 };
 thread_local BufferCache t_wal_buf;
 
+/// mkdir -p: create every missing component, ignore EEXIST.
+void MkDirs(const std::string& path) {
+  size_t i = 0;
+  while (i <= path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string::npos) j = path.size();
+    if (j > 0) {
+      std::string prefix = path.substr(0, j);
+      ::mkdir(prefix.c_str(), 0755);  // EEXIST and friends: caller's open
+                                      // reports the real failure with path
+    }
+    i = j + 1;
+  }
+}
+
+/// A fresh logging Database must never pair a stale checkpoint with a new
+/// log (or vice versa): wipe every durability artifact in the directory.
+void RemoveStaleDurabilityFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> victims;
+  while (struct dirent* ent = ::readdir(d)) {
+    if (std::strncmp(ent->d_name, "wal-", 4) == 0 ||
+        std::strncmp(ent->d_name, "ckpt-", 5) == 0 ||
+        std::strcmp(ent->d_name, "wal.log") == 0) {
+      victims.push_back(dir + "/" + ent->d_name);
+    }
+  }
+  ::closedir(d);
+  for (const std::string& v : victims) ::unlink(v.c_str());
+}
+
 }  // namespace
+
+std::string Wal::SegmentPath(const std::string& dir, uint32_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%06u.log", seq);
+  return dir + "/" + name;
+}
+
+uint32_t Wal::SegmentSeqOf(const char* name) {
+  if (std::strncmp(name, "wal-", 4) != 0) return 0;
+  char* end = nullptr;
+  unsigned long v = std::strtoul(name + 4, &end, 10);
+  if (end == name + 4 || v == 0 || v > 0xffffffffUL) return 0;
+  if (std::strcmp(end, ".log") != 0) return 0;
+  return static_cast<uint32_t>(v);
+}
 
 Wal::Wal(const Config& cfg)
     : epoch_us_(cfg.log_epoch_us > 0 ? cfg.log_epoch_us : 10000.0),
       fsync_(cfg.log_fsync),
+      retry_max_(cfg.log_retry_max > 0 ? cfg.log_retry_max : 0),
+      backoff_us_(cfg.log_retry_backoff_us > 0 ? cfg.log_retry_backoff_us
+                                               : 0.0),
+      dir_(cfg.log_dir),
       wal_id_(g_wal_ids.fetch_add(1, std::memory_order_relaxed)) {
-  std::string path = LogPath(cfg.log_dir);
-  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  MkDirs(dir_);
+  RemoveStaleDurabilityFiles(dir_);
+  std::string path = SegmentPath(dir_, 1);
+  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
   if (fd_ < 0) {
-    std::fprintf(stderr, "wal: cannot open %s; logging disabled\n",
-                 path.c_str());
-    failed_.store(true, std::memory_order_release);
+    std::fprintf(stderr, "wal: cannot open log segment %s: %s; logging "
+                         "disabled\n",
+                 path.c_str(), std::strerror(errno));
+    SetHealth(WalHealth::kReadOnly);
     return;
   }
+  dir_fd_ = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd_ >= 0) ::fsync(dir_fd_);  // the segment's dirent is durable
   writer_ = std::thread([this] { WriterLoop(); });
 }
 
@@ -144,6 +203,7 @@ Wal::~Wal() {
     writer_.join();
   }
   if (fd_ >= 0) ::close(fd_);
+  if (dir_fd_ >= 0) ::close(dir_fd_);
 }
 
 Wal::Buffer* Wal::LocalBuffer() {
@@ -179,24 +239,112 @@ uint64_t Wal::LogCommit(uint64_t cts, const WriteRef* writes, int n) {
     walfmt::Append(&b->data, r);
   }
   size_t added = b->data.size() - before;
+  // Track the logged-but-not-installed window for the checkpointer: the
+  // min epoch stays pinned until every nested commit on this thread has
+  // installed (conservative, and cheap under the latch we already hold).
+  if (b->unreleased_count++ == 0) {
+    b->unreleased_min_epoch = e;
+  } else if (e < b->unreleased_min_epoch) {
+    b->unreleased_min_epoch = e;
+  }
   b->latch.Unlock();
   bytes_logged_.fetch_add(added, std::memory_order_relaxed);
   return e;
 }
 
-bool Wal::WriteAll(const char* p, size_t n) {
+void Wal::InstallDone() {
+  Buffer* b = LocalBuffer();
+  b->latch.Lock(nullptr, nullptr);
+  if (b->unreleased_count > 0) b->unreleased_count--;
+  b->latch.Unlock();
+}
+
+uint64_t Wal::MinUnreleasedEpoch() {
+  uint64_t min = UINT64_MAX;
+  reg_latch_.Lock(nullptr, nullptr);
+  for (auto& b : buffers_) {
+    b->latch.Lock(nullptr, nullptr);
+    if (b->unreleased_count > 0 && b->unreleased_min_epoch < min) {
+      min = b->unreleased_min_epoch;
+    }
+    b->latch.Unlock();
+  }
+  reg_latch_.Unlock();
+  return min;
+}
+
+void Wal::SetHealth(WalHealth h) {
+  health_.store(static_cast<uint8_t>(h), std::memory_order_release);
+  if (h == WalHealth::kReadOnly) {
+    // Durability is frozen: wake waiters so they observe kFailed instead
+    // of hanging on a watermark that will never move again.
+    wake_gen_.fetch_add(1, std::memory_order_release);
+    wake_gen_.notify_all();
+  }
+}
+
+int Wal::WriteRangeAt(const char* p, size_t n, uint64_t off) {
   while (n > 0) {
     size_t chunk = n;
     if (Failpoints::Eval("wal_short_write")) chunk = 1;
-    ssize_t w = ::write(fd_, p, chunk);
+    if (Failpoints::Eval("wal_write_eintr")) {
+      // Simulated EINTR: retried inline, costs no backoff attempt, but is
+      // stat-visible as a retry.
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (Failpoints::Eval("wal_write_enospc")) return ENOSPC;
+    ssize_t w = ::pwrite(fd_, p, chunk, static_cast<off_t>(off));
     if (w < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return errno != 0 ? errno : EIO;
     }
     p += w;
+    off += static_cast<uint64_t>(w);
     n -= static_cast<size_t>(w);
   }
-  return true;
+  return 0;
+}
+
+bool Wal::WriteEpochDurably(const char* p, size_t n) {
+  // Retries rewrite the *whole epoch* at its saved offset: same bytes,
+  // same length, so a partially-persisted earlier attempt is simply
+  // overwritten in place and can never leave trailing garbage. Re-running
+  // fsync after a failed fsync is only trustworthy because the data is
+  // rewritten first (a bare retry could silently drop pages the kernel
+  // already marked clean).
+  const uint64_t base = seg_off_;
+  for (int attempt = 0;; attempt++) {
+    int err = WriteRangeAt(p, n, base);
+    if (err == 0 && fsync_) {
+      if (Failpoints::Eval("wal_fsync_error")) {
+        err = EIO;
+      } else if (::fsync(fd_) != 0) {
+        err = errno != 0 ? errno : EIO;
+      } else {
+        fsyncs_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (err == 0) {
+      if (health() == WalHealth::kDegraded) SetHealth(WalHealth::kHealthy);
+      seg_off_ = base + n;
+      return true;
+    }
+    const bool transient = err == EAGAIN || err == ENOSPC || err == EIO;
+    if (!transient || attempt >= retry_max_) {
+      SetHealth(WalHealth::kReadOnly);
+      return false;
+    }
+    SetHealth(WalHealth::kDegraded);
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    if (backoff_us_ > 0) {
+      double sleep_us =
+          backoff_us_ * static_cast<double>(1ULL << std::min(attempt, 9));
+      if (sleep_us > 100000.0) sleep_us = 100000.0;  // ~100ms per step cap
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(sleep_us));
+    }
+  }
 }
 
 void Wal::WriterLoop() {
@@ -243,42 +391,62 @@ void Wal::WriterLoop() {
     }
     reg_latch_.Unlock();
 
-    if (!batch.empty() && !failed_.load(std::memory_order_relaxed)) {
-      if (Failpoints::Eval("wal_crash_mid_write")) {
-        // Leave a torn tail: half the batch, no marker, then die.
-        WriteAll(batch.data(), batch.size() / 2);
-        Failpoints::Crash();
-      }
-      walfmt::Record marker;
-      marker.epoch = e;
-      marker.table_id = walfmt::kMarkerTableId;
-      marker.key = e;
-      std::vector<char> mk;
-      walfmt::Append(&mk, marker);
-      bool ok = WriteAll(batch.data(), batch.size()) &&
-                WriteAll(mk.data(), mk.size());
-      if (ok && fsync_) {
-        if (Failpoints::Eval("wal_fsync_error") || ::fsync(fd_) != 0) {
-          ok = false;
-        } else {
-          fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    if (!batch.empty()) {
+      if (health() == WalHealth::kReadOnly) {
+        // The log is dead: drain and discard so producer buffers do not
+        // grow without bound. Nothing here was ever acknowledged.
+        batch.clear();
+      } else {
+        if (Failpoints::Eval("wal_crash_mid_write")) {
+          // Leave a torn tail: half the batch, no marker, then die.
+          WriteRangeAt(batch.data(), batch.size() / 2, seg_off_);
+          Failpoints::Crash();
+        }
+        walfmt::Record marker;
+        marker.epoch = e;
+        marker.table_id = walfmt::kMarkerTableId;
+        marker.key = e;
+        walfmt::Append(&batch, marker);
+        if (WriteEpochDurably(batch.data(), batch.size())) {
+          // Advance the watermark only when a marker hit disk: empty
+          // epochs are vacuously durable (no commit gates on them), and
+          // skipping them keeps the published watermark exactly equal to
+          // what recovery can prove from the last surviving marker.
+          durable_epoch_.store(e, std::memory_order_release);
+          wake_gen_.fetch_add(1, std::memory_order_release);
+          wake_gen_.notify_all();
+          if (Failpoints::Eval("wal_crash_after_durable")) {
+            Failpoints::Crash();
+          }
         }
       }
-      if (!ok) {
-        // Failed-sticky: durability stops advancing, so no commit past
-        // this point is ever acknowledged (waiters are unblocked to see
-        // the failure rather than hang).
-        failed_.store(true, std::memory_order_release);
-        durable_epoch_.notify_all();
-      } else {
-        // Advance the watermark only when a marker hit disk: empty epochs
-        // are vacuously durable (no commit gates on them), and skipping
-        // them keeps the published watermark exactly equal to what
-        // recovery can prove from the last surviving marker.
-        durable_epoch_.store(e, std::memory_order_release);
-        durable_epoch_.notify_all();
-        if (Failpoints::Eval("wal_crash_after_durable")) Failpoints::Crash();
+    }
+
+    // Serve a pending segment rotation. At this point every record with
+    // epoch <= e is durable in the current (soon: previous) segments, and
+    // every future append is stamped > e, so `e` is the rotation boundary
+    // the checkpointer's covered-epoch invariant needs.
+    if (rotate_req_.exchange(false, std::memory_order_acq_rel)) {
+      uint64_t boundary = 0;
+      if (health() != WalHealth::kReadOnly) {
+        uint32_t next = cur_seq_.load(std::memory_order_relaxed) + 1;
+        std::string path = SegmentPath(dir_, next);
+        int nfd = ::open(path.c_str(),
+                         O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+        if (nfd >= 0) {
+          ::close(fd_);
+          fd_ = nfd;
+          seg_off_ = 0;
+          if (dir_fd_ >= 0) ::fsync(dir_fd_);
+          cur_seq_.store(next, std::memory_order_release);
+          boundary = e;
+        } else {
+          std::fprintf(stderr, "wal: cannot open log segment %s: %s\n",
+                       path.c_str(), std::strerror(errno));
+        }
       }
+      rotate_boundary_.store(boundary, std::memory_order_release);
+      rotate_gen_.fetch_add(1, std::memory_order_release);
     }
 
     if (stopping) break;
@@ -287,70 +455,141 @@ void Wal::WriterLoop() {
   }
 }
 
-void Wal::WaitDurable(uint64_t epoch) {
+bool Wal::RotateSegment(uint64_t* boundary_epoch, uint32_t* new_seq) {
+  uint64_t gen = rotate_gen_.load(std::memory_order_acquire);
+  rotate_req_.store(true, std::memory_order_release);
+  while (rotate_gen_.load(std::memory_order_acquire) == gen) {
+    if (stop_.load(std::memory_order_acquire) ||
+        health() == WalHealth::kReadOnly) {
+      if (rotate_gen_.load(std::memory_order_acquire) != gen) break;
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  uint64_t boundary = rotate_boundary_.load(std::memory_order_acquire);
+  if (boundary == 0) return false;  // the writer could not open the segment
+  *boundary_epoch = boundary;
+  *new_seq = cur_seq_.load(std::memory_order_acquire);
+  return true;
+}
+
+WaitResult Wal::WaitDurable(uint64_t epoch, int64_t timeout_us) {
   for (;;) {
+    // Snapshot the generation *before* re-checking the predicate: any
+    // state change after the checks bumps the generation, so wait() below
+    // returns immediately instead of losing the wakeup.
+    uint64_t gen = wake_gen_.load(std::memory_order_acquire);
     uint64_t d = durable_epoch_.load(std::memory_order_acquire);
-    if (d >= epoch || failed_.load(std::memory_order_acquire)) return;
-    durable_epoch_.wait(d, std::memory_order_acquire);
+    if (d >= epoch) return WaitResult::kDurable;
+    if (health() == WalHealth::kReadOnly) return WaitResult::kFailed;
+    if (timeout_us < 0) {
+      wake_gen_.wait(gen, std::memory_order_acquire);
+    } else {
+      if (timeout_us == 0) return WaitResult::kTimeout;
+      int64_t step = timeout_us < 200 ? timeout_us : 200;
+      std::this_thread::sleep_for(std::chrono::microseconds(step));
+      timeout_us -= step;
+    }
   }
 }
 
 void Wal::FillStats(ThreadStats* s) const {
   s->log_bytes += bytes_logged_.load(std::memory_order_relaxed);
   s->log_fsyncs += fsyncs_.load(std::memory_order_relaxed);
+  s->wal_retries += retries_.load(std::memory_order_relaxed);
+  uint64_t h = health_.load(std::memory_order_relaxed);
+  if (h > s->health_state) s->health_state = h;
 }
 
 RecoveryResult Database::Recover(const std::string& log_dir) {
   RecoveryResult res;
-  std::string path = Wal::LogPath(log_dir);
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return res;  // no log: nothing to recover
-  struct stat st;
-  if (::fstat(fd, &st) != 0 || st.st_size == 0) {
-    ::close(fd);
-    return res;
-  }
-  std::vector<char> buf(static_cast<size_t>(st.st_size));
-  size_t got = 0;
-  while (got < buf.size()) {
-    ssize_t r = ::read(fd, buf.data() + got, buf.size() - got);
-    if (r <= 0) {
-      if (r < 0 && errno == EINTR) continue;
-      break;
-    }
-    got += static_cast<size_t>(r);
-  }
-  ::close(fd);
 
-  // Pass 1: scan forward, stopping at the first torn or checksum-failed
-  // record -- everything past it is an untrusted tail. The highest marker
-  // seen before the stop is the last fully-durable epoch.
-  std::vector<walfmt::Record> records;
-  size_t off = 0;
-  uint64_t last_marker = 0;
-  while (off < got) {
-    walfmt::Record rec;
-    int64_t used = walfmt::Decode(buf.data(), got, off, &rec);
-    if (used <= 0) {
-      res.tail_torn = true;
-      break;
+  // Newest valid checkpoint first (torn/corrupt ones are skipped back to
+  // the previous); it installs row images directly and tells us which
+  // epochs it covers, so the log scan only needs the suffix.
+  CkptLoadResult ck = LoadNewestCheckpoint(log_dir, this);
+  res.ckpt_epoch = ck.covered_epoch;
+  res.ckpt_rows = ck.rows_installed;
+  res.max_cts = ck.max_cts;
+
+  // Enumerate segment files in sequence order.
+  std::vector<uint32_t> seqs;
+  if (DIR* d = ::opendir(log_dir.c_str())) {
+    while (struct dirent* ent = ::readdir(d)) {
+      uint32_t seq = Wal::SegmentSeqOf(ent->d_name);
+      if (seq > 0) seqs.push_back(seq);
     }
-    off += static_cast<size_t>(used);
-    if (rec.IsMarker()) {
-      if (rec.epoch > last_marker) last_marker = rec.epoch;
-    } else {
-      records.push_back(rec);
-    }
+    ::closedir(d);
   }
-  res.truncated_bytes = got - off;
-  res.durable_epoch = last_marker;
+  std::sort(seqs.begin(), seqs.end());
+
+  // Pass 1: scan segments forward, stopping at the first torn or
+  // checksum-failed record -- everything past it (including every later
+  // segment) is an untrusted tail. The highest marker seen before the
+  // stop is the last fully-durable epoch.
+  std::vector<std::vector<char>> bufs;  // keeps record images alive
+  std::vector<walfmt::Record> records;
+  uint64_t last_marker = 0;
+  bool stopped = false;
+  for (uint32_t seq : seqs) {
+    std::string path = Wal::SegmentPath(log_dir, seq);
+    if (stopped) {
+      struct stat st;
+      if (::stat(path.c_str(), &st) == 0) {
+        res.truncated_bytes += static_cast<uint64_t>(st.st_size);
+      }
+      continue;
+    }
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) continue;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size == 0) {
+      ::close(fd);
+      res.segments_scanned++;
+      continue;
+    }
+    std::vector<char> buf(static_cast<size_t>(st.st_size));
+    size_t got = 0;
+    while (got < buf.size()) {
+      ssize_t r = ::read(fd, buf.data() + got, buf.size() - got);
+      if (r <= 0) {
+        if (r < 0 && errno == EINTR) continue;
+        break;
+      }
+      got += static_cast<size_t>(r);
+    }
+    ::close(fd);
+    res.segments_scanned++;
+
+    size_t off = 0;
+    while (off < got) {
+      walfmt::Record rec;
+      int64_t used = walfmt::Decode(buf.data(), got, off, &rec);
+      if (used <= 0) {
+        res.tail_torn = true;
+        stopped = true;
+        break;
+      }
+      off += static_cast<size_t>(used);
+      if (rec.IsMarker()) {
+        if (rec.epoch > last_marker) last_marker = rec.epoch;
+      } else {
+        records.push_back(rec);
+      }
+    }
+    res.truncated_bytes += got - off;
+    bufs.push_back(std::move(buf));  // images point into the moved buffer
+  }
+  res.durable_epoch = std::max(last_marker, ck.covered_epoch);
 
   // Pass 2: replay the prefix-closed set -- exactly the records of epochs
-  // the marker vouches for. Within an epoch, records of the same row are
-  // ordered by commit timestamp (the CTS guard makes replay idempotent
-  // and order-insensitive inside the epoch).
+  // the marker vouches for, minus everything the checkpoint already
+  // covers. Within an epoch, records of the same row are ordered by
+  // commit timestamp (the CTS guard makes replay idempotent and
+  // order-insensitive inside the epoch; it also harmlessly skips any
+  // checkpoint-covered record that survived in an untruncated segment).
   for (const walfmt::Record& rec : records) {
-    if (rec.epoch > last_marker) {
+    if (rec.epoch > last_marker || rec.epoch <= ck.covered_epoch) {
       res.records_skipped++;
       continue;
     }
@@ -369,7 +608,7 @@ RecoveryResult Database::Recover(const std::string& log_dir) {
     }
   }
 
-  // Resume the commit-timestamp authority above everything replayed, so
+  // Resume the commit-timestamp authority above everything restored, so
   // post-recovery commits can never collide with pre-crash stamps.
   cc_.RecoverCts(res.max_cts);
   return res;

@@ -30,6 +30,12 @@ namespace bamboo {
 ///
 /// The writer emits all records of epoch E, then one marker for E, then
 /// fsyncs; recovery trusts exactly the epochs whose marker survived.
+///
+/// The log is a sequence of segment files `wal-NNNNNN.log` with strictly
+/// increasing sequence numbers. The writer appends to the newest segment
+/// and opens a fresh one when the checkpointer requests a rotation; the
+/// checkpointer deletes whole segments once a later checkpoint covers
+/// their epochs. Records never span segments.
 namespace walfmt {
 
 constexpr uint32_t kMarkerTableId = 0xffffffffu;
@@ -61,14 +67,24 @@ int64_t Decode(const char* buf, size_t n, size_t off, Record* out);
 
 /// What Database::Recover found and did.
 struct RecoveryResult {
-  uint64_t durable_epoch = 0;    ///< last epoch with a surviving marker
-  uint64_t records_applied = 0;  ///< after-images installed into rows
-  uint64_t records_skipped = 0;  ///< beyond the durable epoch, stale cts,
-                                 ///< or unresolvable (table,key)
-  uint64_t max_cts = 0;          ///< highest replayed commit timestamp
+  uint64_t durable_epoch = 0;    ///< max(checkpoint covered epoch, last
+                                 ///< epoch with a surviving marker)
+  uint64_t records_applied = 0;  ///< after-images installed from the WAL
+  uint64_t records_skipped = 0;  ///< beyond the durable epoch, stale cts
+                                 ///< (incl. checkpoint-covered), or
+                                 ///< unresolvable (table,key)
+  uint64_t max_cts = 0;          ///< highest commit timestamp restored
   uint64_t truncated_bytes = 0;  ///< torn/garbage tail bytes refused
-  bool tail_torn = false;        ///< the scan stopped before end-of-file
+  bool tail_torn = false;        ///< the scan stopped before end-of-log
+  uint64_t ckpt_epoch = 0;       ///< covered epoch of the loaded checkpoint
+                                 ///< (0: recovery ran from the log alone)
+  uint64_t ckpt_rows = 0;        ///< row images installed from the checkpoint
+  uint32_t segments_scanned = 0; ///< WAL segment files read
 };
+
+/// Outcome of waiting on the durable watermark. Never a silent false ack:
+/// a dead log reports kFailed instead of returning as if durable.
+enum class WaitResult { kDurable, kFailed, kTimeout };
 
 /// Write-ahead log with Silo-style epoch group commit.
 ///
@@ -88,6 +104,17 @@ struct RecoveryResult {
 /// barrier drains), and its own durable-ack epoch is the max of its commit
 /// epoch and every dependency's -- early lock release never acknowledges a
 /// commit whose inputs could still vanish in a crash.
+///
+/// I/O fault resilience (see DESIGN.md "Checkpointing & health states"):
+/// instead of the old failed-sticky flag, the writer classifies errors and
+/// retries transient faults (EINTR, EAGAIN, ENOSPC, EIO, any fsync
+/// failure) by rewriting the whole epoch at its saved segment offset and
+/// fsyncing again, with bounded exponential backoff. While retrying the
+/// health state is kDegraded -- commits keep executing but the durable
+/// watermark stalls. A successful retry returns to kHealthy; exhausted
+/// retries (or a hard errno) land in kReadOnly: the lock manager rejects
+/// new writers with RC::kReadOnlyMode, readers and in-flight commits
+/// drain, and WaitDurable reports kFailed.
 class Wal {
  public:
   /// One after-image to log at commit.
@@ -103,59 +130,124 @@ class Wal {
 
   /// False when the log file could not be opened (logging is then off).
   bool ok() const { return fd_ >= 0; }
-  /// True after an unrecoverable write/fsync error: durability is frozen
-  /// and no further commit will ever be acknowledged.
-  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  WalHealth health() const {
+    return static_cast<WalHealth>(health_.load(std::memory_order_acquire));
+  }
+  /// Compat shorthand: the log can no longer accept writes.
+  bool failed() const { return health() == WalHealth::kReadOnly; }
+  /// The raw health word, for consumers that poll it on a hot path (the
+  /// lock manager's writer-admission gate). Values are WalHealth.
+  const std::atomic<uint8_t>* health_word() const { return &health_; }
 
   /// Append one commit's after-images, stamped with the current epoch.
   /// Call between the commit-point CAS and the lock releases (the images
   /// must still be live). Returns the epoch the records carry. n must be
   /// > 0 (read-only commits have nothing to log and an ack epoch of 0).
+  ///
+  /// Every LogCommit must be paired with an InstallDone() from the same
+  /// thread once the after-images are installed into the rows (after
+  /// ReleaseAll) -- the checkpointer uses the pairing to know when every
+  /// logged commit at or below a rotation boundary is visible in memory.
   uint64_t LogCommit(uint64_t cts, const WriteRef* writes, int n);
+
+  /// The commit logged by this thread's last unpaired LogCommit has
+  /// finished installing its after-images into the rows.
+  void InstallDone();
+
+  /// Smallest epoch carried by a logged-but-not-yet-installed commit, or
+  /// UINT64_MAX when none is in flight. Conservative: a thread's in-flight
+  /// window keeps its first epoch until every nested commit on that thread
+  /// has installed.
+  uint64_t MinUnreleasedEpoch();
+
+  /// Checkpoint handshake: ask the writer to finish its current epoch,
+  /// open the next segment, and publish the boundary. On return every
+  /// record with epoch <= *boundary_epoch is durable in segments below
+  /// *new_seq, and every future LogCommit lands in *new_seq or later.
+  /// Blocks for up to one epoch; false when the log is read-only or
+  /// stopping (no rotation happened).
+  bool RotateSegment(uint64_t* boundary_epoch, uint32_t* new_seq);
 
   uint64_t durable_epoch() const {
     return durable_epoch_.load(std::memory_order_acquire);
   }
 
-  /// Block until `epoch` is durable (or the log failed). Test/tool helper;
-  /// the bench runner polls durable_epoch() instead.
-  void WaitDurable(uint64_t epoch);
+  /// Block until `epoch` is durable, the log fails, or `timeout_us`
+  /// elapses (negative: wait forever).
+  WaitResult WaitDurable(uint64_t epoch, int64_t timeout_us = -1);
 
-  /// Fold the writer-side counters (bytes written, fsyncs) into `s`.
+  /// Fold the writer-side counters (bytes written, fsyncs, retries,
+  /// health) into `s`.
   void FillStats(ThreadStats* s) const;
 
-  static std::string LogPath(const std::string& dir) {
-    return dir + "/wal.log";
+  const std::string& dir() const { return dir_; }
+  uint32_t segment_seq() const {
+    return cur_seq_.load(std::memory_order_acquire);
   }
+
+  static std::string SegmentPath(const std::string& dir, uint32_t seq);
+  /// Parse a segment file name ("wal-NNNNNN.log"); 0 when it is not one.
+  static uint32_t SegmentSeqOf(const char* name);
 
  private:
   /// Per-producer staging buffer. The latch orders appends against the
   /// writer's drain; reading the epoch inside the latch is what guarantees
-  /// a drained epoch can never grow new records.
+  /// a drained epoch can never grow new records. The unreleased_* pair
+  /// (also under the latch) tracks commits this thread has logged but not
+  /// yet installed into rows.
   struct alignas(kCacheLineSize) Buffer {
     SpinLatch latch;
     std::vector<char> data;
+    uint32_t unreleased_count = 0;
+    uint64_t unreleased_min_epoch = 0;  ///< meaningful iff count > 0
   };
 
   Buffer* LocalBuffer();
   void WriterLoop();
-  bool WriteAll(const char* p, size_t n);
+  void SetHealth(WalHealth h);
+  /// Write [p, p+n) at segment offset `off`; returns 0 or the errno that
+  /// stopped it (EINTR is absorbed inline).
+  int WriteRangeAt(const char* p, size_t n, uint64_t off);
+  /// Write + fsync one epoch's batch at the current segment offset,
+  /// retrying transient faults with bounded exponential backoff. True on
+  /// success (health restored to kHealthy); false when the log just went
+  /// read-only.
+  bool WriteEpochDurably(const char* p, size_t n);
 
   const double epoch_us_;
   const bool fsync_;
+  const int retry_max_;
+  const double backoff_us_;
+  std::string dir_;
   int fd_ = -1;
+  int dir_fd_ = -1;
+  uint64_t seg_off_ = 0;  ///< writer-only: append offset in fd_'s segment
   uint64_t wal_id_;  ///< process-unique, keys the thread-local buffer cache
 
   std::atomic<uint64_t> epoch_{1};
   std::atomic<uint64_t> durable_epoch_{0};
-  std::atomic<bool> failed_{false};
+  /// Bumped (with notify) on every durable advance *and* health
+  /// transition to read-only. Waiters block on this counter, not on
+  /// durable_epoch_ itself: the watermark freezes forever on the
+  /// read-only transition, so a waiter that checked health just before
+  /// the transition would otherwise sleep through the only wakeup.
+  std::atomic<uint64_t> wake_gen_{0};
+  std::atomic<uint8_t> health_{0};  ///< WalHealth ladder
   std::atomic<bool> stop_{false};
+
+  // Rotation handshake (single requester: the checkpointer).
+  std::atomic<bool> rotate_req_{false};
+  std::atomic<uint64_t> rotate_gen_{0};
+  std::atomic<uint64_t> rotate_boundary_{0};  ///< 0: last rotation failed
+  std::atomic<uint32_t> cur_seq_{1};
 
   SpinLatch reg_latch_;  ///< guards buffers_ registration vs. the drain
   std::vector<std::unique_ptr<Buffer>> buffers_;
 
   std::atomic<uint64_t> bytes_logged_{0};
   std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> retries_{0};
 
   std::thread writer_;
 };

@@ -50,6 +50,10 @@ class Table {
   const Schema& schema() const { return schema_; }
   uint64_t row_count() const { return rows_.size(); }
 
+  /// Positional access for whole-table scans (checkpointing). Valid for
+  /// i < row_count(); stable because rows are never deleted.
+  Row* RowAt(uint64_t i) { return &rows_[i]; }
+
   /// Catalog-assigned position, stable for the Database's lifetime; WAL
   /// records name tables by this id (0 for tables created outside a
   /// Catalog, which are never logged).

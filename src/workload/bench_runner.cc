@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/platform.h"
+#include "src/db/checkpoint.h"
 #include "src/db/database.h"
 #include "src/db/wal.h"
 
@@ -120,6 +121,10 @@ void WorkerLoop(Database* db, Workload* workload, SharedState* shared,
       if (p.measured && p.epoch <= d) {
         stats.commits++;
         stats.durable_lag_epochs += d - p.epoch;
+      } else if (p.measured) {
+        // The log went read-only before covering this epoch: the commit
+        // is applied in memory but was never acknowledged durable.
+        stats.commits_ack_failed++;
       }
       acks.pop_front();  // a failed log never acknowledges: drop, uncounted
     }
@@ -232,6 +237,15 @@ void WorkerLoop(Database* db, Workload* workload, SharedState* shared,
       if (rc == RC::kPending) {
         break;  // in flight; reclaimed when the chain drains
       }
+      if (rc == RC::kReadOnlyMode) {
+        // The WAL degraded to read-only: this write can never be made
+        // durable, so retiring the seed beats retrying it forever. A short
+        // sleep keeps a writer-heavy mix from spinning on the gate.
+        stats.readonly_rejects++;
+        free_slots.push_back(slot);
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        break;
+      }
       stats.aborts++;
       stats.abort_ns += NowNs() - t0;
       if (shared->stop.load(std::memory_order_acquire)) {
@@ -264,9 +278,10 @@ void WorkerLoop(Database* db, Workload* workload, SharedState* shared,
   // failed log drains the queue unacknowledged instead of hanging.
   if (wal != nullptr) {
     while (!acks.empty()) {
-      wal->WaitDurable(acks.front().epoch);
+      WaitResult wr = wal->WaitDurable(acks.front().epoch);
       size_t before = acks.size();
-      drain_acks();
+      drain_acks();  // kFailed still drains (unacknowledged, uncounted)
+      if (wr != WaitResult::kDurable && acks.size() == before) break;
       if (acks.size() == before) break;  // defensive: no progress
     }
   }
@@ -314,6 +329,7 @@ RunResult LoadAndRun(const Config& cfg, Workload* workload) {
   RunResult result;
   for (const auto& c : ctxs) result.total.Add(c->stats);
   if (Wal* wal = db.wal()) wal->FillStats(&result.total);
+  if (Checkpointer* ck = db.checkpointer()) ck->FillStats(&result.total);
   db.cc()->locks()->PolicyTierTotals(
       &result.total.policy_heats, &result.total.policy_cools,
       &result.total.policy_cold_rows, &result.total.policy_hot_rows);

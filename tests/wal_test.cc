@@ -5,6 +5,7 @@
 // TxnHandle, destroy the Database, replay the log into a fresh one.
 #include "src/db/wal.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -29,7 +30,13 @@ std::string MakeTmpDir(const char* tag) {
 }
 
 void RemoveTmpDir(const std::string& dir) {
-  std::remove(Wal::LogPath(dir).c_str());
+  if (DIR* d = opendir(dir.c_str())) {
+    while (struct dirent* ent = readdir(d)) {
+      if (ent->d_name[0] == '.') continue;
+      std::remove((dir + "/" + ent->d_name).c_str());
+    }
+    closedir(d);
+  }
   rmdir(dir.c_str());
 }
 
@@ -331,7 +338,7 @@ void TestRecoveryRefusesTornTail() {
   }
 
   // Garbage appended after the last marker: refused, nothing else lost.
-  std::string path = Wal::LogPath(dir);
+  std::string path = Wal::SegmentPath(dir, 1);
   {
     FILE* f = std::fopen(path.c_str(), "ab");
     CHECK(f != nullptr);
@@ -373,6 +380,172 @@ void TestRecoveryRefusesTornTail() {
   RemoveTmpDir(dir);
 }
 
+/// A transient fsync fault must be absorbed: retry, recover to kHealthy,
+/// keep acknowledging durability, count the retry.
+void TestTransientFaultRetries() {
+  std::string dir = MakeTmpDir("transient");
+  {
+    Config cfg = LogConfig(dir);
+    cfg.log_retry_backoff_us = 10;
+    Database db(cfg);
+    CHECK(db.wal() != nullptr);
+    Schema s;
+    s.AddColumn("val", 8);
+    Table* tbl = db.catalog()->CreateTable("t", s);
+    HashIndex* idx = db.catalog()->CreateIndex("t_pk", 16);
+    db.LoadRow(tbl, idx, 0);
+
+    // One-shot: exactly the first fsync fails, every retry succeeds.
+    CHECK(Failpoints::ArmForTest("wal_fsync_error:1"));
+    Actor a(&db);
+    a.Begin(&db);
+    CHECK(a.h.UpdateRmw(idx, 0, Bump, nullptr) == RC::kOk);
+    CHECK(a.h.Commit(RC::kOk) == RC::kOk);
+    CHECK(a.cb.log_epoch >= 1);
+    CHECK(db.wal()->WaitDurable(a.cb.log_ack_epoch) == WaitResult::kDurable);
+    CHECK(db.wal()->health() == WalHealth::kHealthy);
+    CHECK(!db.wal()->failed());
+
+    ThreadStats ts;
+    db.wal()->FillStats(&ts);
+    CHECK(ts.wal_retries >= 1);
+    CHECK_EQ(ts.health_state, static_cast<uint64_t>(WalHealth::kHealthy));
+    Failpoints::DisarmForTest("wal_fsync_error");
+  }
+  RemoveTmpDir(dir);
+}
+
+/// Sustained fault pressure: every 4th fsync fails across a stream of 24
+/// commits, each individually waited durable. The retry/backoff loop must
+/// absorb all of them -- every ack is kDurable (zero lost acked commits),
+/// health lands back on kHealthy, and no sticky failure latches.
+void TestSustainedTransientFaults() {
+  std::string dir = MakeTmpDir("sustained");
+  {
+    Config cfg = LogConfig(dir);
+    cfg.log_retry_backoff_us = 10;
+    Database db(cfg);
+    CHECK(db.wal() != nullptr);
+    Schema s;
+    s.AddColumn("val", 8);
+    Table* tbl = db.catalog()->CreateTable("t", s);
+    HashIndex* idx = db.catalog()->CreateIndex("t_pk", 16);
+    db.LoadRow(tbl, idx, 0);
+
+    CHECK(Failpoints::ArmForTest("wal_fsync_error:every=4"));
+    Actor a(&db);
+    for (int i = 0; i < 24; i++) {
+      a.Begin(&db);
+      CHECK(a.h.UpdateRmw(idx, 0, Bump, nullptr) == RC::kOk);
+      CHECK(a.h.Commit(RC::kOk) == RC::kOk);
+      CHECK(db.wal()->WaitDurable(a.cb.log_ack_epoch) ==
+            WaitResult::kDurable);
+    }
+    CHECK(db.wal()->health() == WalHealth::kHealthy);
+    CHECK(!db.wal()->failed());
+    ThreadStats ts;
+    db.wal()->FillStats(&ts);
+    CHECK(ts.wal_retries >= 4);  // ~24 fsyncs + retries, every 4th faulted
+    Failpoints::DisarmForTest("wal_fsync_error");
+  }
+  RemoveTmpDir(dir);
+}
+
+/// An injected ENOSPC on the write path is transient too (space can be
+/// freed): same absorb-and-recover behavior as the fsync fault.
+void TestEnospcRetries() {
+  std::string dir = MakeTmpDir("enospc");
+  {
+    Config cfg = LogConfig(dir);
+    cfg.log_retry_backoff_us = 10;
+    Database db(cfg);
+    Schema s;
+    s.AddColumn("val", 8);
+    Table* tbl = db.catalog()->CreateTable("t", s);
+    HashIndex* idx = db.catalog()->CreateIndex("t_pk", 16);
+    db.LoadRow(tbl, idx, 0);
+
+    CHECK(Failpoints::ArmForTest("wal_write_enospc:1"));
+    Actor a(&db);
+    a.Begin(&db);
+    CHECK(a.h.UpdateRmw(idx, 0, Bump, nullptr) == RC::kOk);
+    CHECK(a.h.Commit(RC::kOk) == RC::kOk);
+    CHECK(db.wal()->WaitDurable(a.cb.log_ack_epoch) == WaitResult::kDurable);
+    CHECK(db.wal()->health() == WalHealth::kHealthy);
+    ThreadStats ts;
+    db.wal()->FillStats(&ts);
+    CHECK(ts.wal_retries >= 1);
+    Failpoints::DisarmForTest("wal_write_enospc");
+  }
+  RemoveTmpDir(dir);
+}
+
+/// Exhausted retries: the WAL walks kHealthy -> kDegraded -> kReadOnly,
+/// WaitDurable reports kFailed (never a false ack), new writers abort with
+/// kReadOnlyMode at admission, and readers keep committing.
+void TestExhaustedRetriesReadOnly() {
+  std::string dir = MakeTmpDir("readonly");
+  {
+    Config cfg = LogConfig(dir);
+    cfg.log_retry_max = 2;
+    cfg.log_retry_backoff_us = 10;
+    Database db(cfg);
+    Schema s;
+    s.AddColumn("val", 8);
+    Table* tbl = db.catalog()->CreateTable("t", s);
+    HashIndex* idx = db.catalog()->CreateIndex("t_pk", 16);
+    for (uint64_t k = 0; k < 2; k++) db.LoadRow(tbl, idx, k);
+
+    // Every fsync fails: the writer burns through its retry budget.
+    CHECK(Failpoints::ArmForTest("wal_fsync_error:every=1"));
+    Actor a(&db);
+    a.Begin(&db);
+    CHECK(a.h.UpdateRmw(idx, 0, Bump, nullptr) == RC::kOk);
+    CHECK(a.h.Commit(RC::kOk) == RC::kOk);  // applied in memory...
+    // ...but never durable: the wait must report the failure.
+    CHECK(db.wal()->WaitDurable(a.cb.log_ack_epoch) == WaitResult::kFailed);
+    CHECK(db.wal()->health() == WalHealth::kReadOnly);
+    CHECK(db.wal()->failed());
+
+    // New writers are rejected cleanly at admission.
+    a.Begin(&db);
+    CHECK(a.h.UpdateRmw(idx, 1, Bump, nullptr) == RC::kReadOnlyMode);
+    CHECK(a.h.Commit(RC::kOk) == RC::kReadOnlyMode);
+
+    // Readers still run to commit while the engine degrades.
+    Actor r(&db);
+    r.Begin(&db);
+    const char* d = nullptr;
+    CHECK(r.h.Read(idx, 1, &d) == RC::kOk);
+    CHECK(r.h.Commit(RC::kOk) == RC::kOk);
+
+    ThreadStats ts;
+    db.wal()->FillStats(&ts);
+    CHECK_EQ(ts.health_state, static_cast<uint64_t>(WalHealth::kReadOnly));
+    Failpoints::DisarmForTest("wal_fsync_error");
+  }
+  RemoveTmpDir(dir);
+}
+
+/// Probabilistic and every-Nth failpoint grammar.
+void TestFailpointModes() {
+  CHECK(Failpoints::ArmForTest("fp_mode_test:every=3"));
+  int fired = 0;
+  for (int i = 0; i < 9; i++) fired += Failpoints::Eval("fp_mode_test");
+  CHECK_EQ(fired, 3);  // fires on every 3rd evaluation
+  Failpoints::DisarmForTest("fp_mode_test");
+
+  CHECK(Failpoints::ArmForTest("fp_prob_test:p=1.0"));
+  CHECK(Failpoints::Eval("fp_prob_test"));
+  CHECK(Failpoints::Eval("fp_prob_test"));
+  Failpoints::DisarmForTest("fp_prob_test");
+  CHECK(!Failpoints::Eval("fp_prob_test"));
+
+  CHECK(Failpoints::ArmForTest("fp_prob_zero:p=0.0"));
+  for (int i = 0; i < 64; i++) CHECK(!Failpoints::Eval("fp_prob_zero"));
+  Failpoints::DisarmForTest("fp_prob_zero");
+}
+
 }  // namespace
 }  // namespace bamboo
 
@@ -388,5 +561,10 @@ int main() {
   RUN_TEST(bamboo::TestCrossShardDependencyAck);
   RUN_TEST(bamboo::TestRecoveryReplay);
   RUN_TEST(bamboo::TestRecoveryRefusesTornTail);
+  RUN_TEST(bamboo::TestFailpointModes);
+  RUN_TEST(bamboo::TestTransientFaultRetries);
+  RUN_TEST(bamboo::TestSustainedTransientFaults);
+  RUN_TEST(bamboo::TestEnospcRetries);
+  RUN_TEST(bamboo::TestExhaustedRetriesReadOnly);
   return bamboo::test::Summary("wal_test");
 }

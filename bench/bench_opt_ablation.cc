@@ -6,10 +6,17 @@
 //   opt2: no retire for the tail delta of writes
 //   opt3: read-after-write served from the preceding version (no wound)
 //   opt4: dynamic timestamp assignment on first conflict
+#include <atomic>
 #include <cstdlib>
+#include <cstring>
+#include <random>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/common/failpoint.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
 
 namespace {
 
@@ -150,6 +157,108 @@ void RunDurabilityFaults(const bamboo::bench::Options& opt) {
             "fuzzy snapshot in pause and bytes");
 }
 
+/// Suspension ablation: the single-hotspot interactive mix under both
+/// blocked-statement strategies (futex parking vs continuation
+/// suspension), plus a loopback run through the wire-protocol server so
+/// the net_frames/net_bytes counters are exercised end to end. Row names
+/// are stable awk keys (SUSP_*) for scripts/bench_snapshot.sh.
+void RunSuspension(const bamboo::bench::Options& opt) {
+  using namespace bamboo;
+  using namespace bamboo::bench;
+  TablePrinter tbl(
+      "Suspension ablation, single-hotspot interactive, Bamboo",
+      {"config", "throughput(txn/s)", "abort_rate", "susp/txn", "cont/txn",
+       "net_frames", "net_kB", "breakdown(ms/txn)"});
+  const int threads = opt.threads > 0 ? opt.threads : 8;
+  auto add_row = [&tbl](const char* name, const RunResult& r) {
+    auto per_txn = [&r](uint64_t n) {
+      return r.total.commits > 0 ? static_cast<double>(n) /
+                                       static_cast<double>(r.total.commits)
+                                 : 0.0;
+    };
+    tbl.AddRow({name, FmtThroughput(r), Fmt(r.AbortRate(), 3),
+                Fmt(per_txn(r.total.suspended_txns), 3),
+                Fmt(per_txn(r.total.continuations_fired), 3),
+                std::to_string(r.total.net_frames),
+                Fmt(static_cast<double>(r.total.net_bytes) / 1024.0, 1),
+                FmtBreakdown(r)});
+  };
+  for (SuspendMode sm : {SuspendMode::kFutex, SuspendMode::kContinuation}) {
+    Config cfg = opt.BaseConfig();
+    cfg.protocol = Protocol::kBamboo;
+    cfg.mode = ExecMode::kInteractive;
+    cfg.suspend_mode = sm;
+    cfg.num_threads = threads;
+    cfg.synth_ops_per_txn = 16;
+    cfg.synth_num_hotspots = 1;
+    cfg.synth_hotspot_pos[0] = 0.0;
+    RunResult r = RunSynthetic(cfg);
+    add_row(sm == SuspendMode::kFutex ? "SUSP_FUTEX" : "SUSP_CONT", r);
+  }
+
+  // Loopback wire-protocol point: a few synchronous clients drive
+  // BEGIN/READ_MANY/UPDATE_RMW/COMMIT frames against an in-process server
+  // (continuation mode), long enough to exercise suspension under real
+  // frames. Metrics come from the server's loop stats.
+  {
+    Config cfg = opt.BaseConfig();
+    cfg.protocol = Protocol::kBamboo;
+    cfg.suspend_mode = SuspendMode::kContinuation;
+    cfg.num_threads = 2;
+    NetServer::Options sopts;
+    sopts.rows = 8192;
+    NetServer server(cfg, sopts);
+    if (server.Start()) {
+      const int kClients = 8;
+      const int kTxns = 200;
+      std::vector<std::thread> cls;
+      std::atomic<uint64_t> commits{0}, aborts{0};
+      for (int c = 0; c < kClients; c++) {
+        cls.emplace_back([&, c] {
+          net::BlockingClient cli;
+          if (!cli.Connect(server.port())) return;
+          std::mt19937_64 rng(0xabcdef12u + static_cast<uint64_t>(c));
+          uint64_t keys[16];
+          for (int t = 0; t < kTxns; t++) {
+            netproto::Status st;
+            if (!cli.Begin(&st) || st != netproto::Status::kOk) return;
+            for (int i = 0; i < 16; i++) keys[i] = rng() % sopts.rows;
+            if (!cli.Call(netproto::MsgType::kReadMany, keys, 16, 0, &st)) {
+              return;
+            }
+            if (st != netproto::Status::kOk) {
+              aborts.fetch_add(1);
+              continue;  // server already rolled the txn back
+            }
+            for (int i = 0; i < 4; i++) keys[i] = rng() % 64;  // hot range
+            if (!cli.Call(netproto::MsgType::kUpdateRmw, keys, 4, 1, &st)) {
+              return;
+            }
+            if (st != netproto::Status::kOk) {
+              aborts.fetch_add(1);
+              continue;
+            }
+            if (!cli.Commit(&st)) return;
+            if (st == netproto::Status::kOk) commits.fetch_add(1);
+            else aborts.fetch_add(1);
+          }
+        });
+      }
+      for (auto& t : cls) t.join();
+      server.Stop();
+      RunResult r;
+      r.total = server.StatsTotal();
+      r.total.commits = commits.load();
+      r.total.aborts = aborts.load();
+      r.elapsed_seconds = 1.0;  // throughput column is not meaningful here
+      add_row("SUSP_NET_LOOPBACK", r);
+    }
+  }
+  tbl.Print("continuation mode must hold throughput while futex parks the "
+            "worker; the loopback row proves the counters flow through the "
+            "wire protocol");
+}
+
 }  // namespace
 
 int main() {
@@ -175,6 +284,13 @@ int main() {
   // section).
   if (std::getenv("BB_DUR_ONLY") != nullptr) {
     RunDurabilityFaults(opt);
+    return 0;
+  }
+
+  // BB_SUSP_ONLY=1: just the suspension ablation (bench_snapshot.sh uses
+  // this for the networked_interactive section).
+  if (std::getenv("BB_SUSP_ONLY") != nullptr) {
+    RunSuspension(opt);
     return 0;
   }
 
@@ -231,5 +347,6 @@ int main() {
   RunShardSweep(opt);
   RunMixedTemperature(opt);
   RunDurabilityFaults(opt);
+  RunSuspension(opt);
   return 0;
 }

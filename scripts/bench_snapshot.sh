@@ -11,7 +11,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr9.json}"
+OUT="${2:-BENCH_pr10.json}"
 
 if [ ! -x "$BUILD_DIR/bench_single_hotspot" ]; then
   cmake -B "$BUILD_DIR" -S .
@@ -89,6 +89,37 @@ dur_ckpt_count=$(pick_col DUR_CKPT 6)
 dur_ckpt_kb=$(pick_col DUR_CKPT 7)
 dur_ckpt_pause_us=$(pick_col DUR_CKPT 8)
 dur_ckpt_trunc=$(pick_col DUR_CKPT 9)
+
+# Suspension ablation (SUSP_* rows): the single-hotspot interactive mix
+# under futex parking vs continuation suspension, plus a loopback
+# wire-protocol run (real frames through the epoll server).
+susp_out=$(BB_BENCH_DURATION="$DUR" BB_BENCH_WARMUP="$WARM" \
+           BB_SUSP_ONLY=1 "$BUILD_DIR/bench_opt_ablation")
+susp_futex_tput=$(printf '%s\n' "$susp_out" | awk '$1=="SUSP_FUTEX"'" $to_num")
+susp_cont_tput=$(printf '%s\n' "$susp_out" | awk '$1=="SUSP_CONT"'" $to_num")
+pick_susp() { printf '%s\n' "$susp_out" | awk -v row="$1" -v col="$2" \
+              '$1==row {print $col+0; exit}'; }
+susp_cont_per_txn=$(pick_susp SUSP_CONT 4)
+cont_fired_per_txn=$(pick_susp SUSP_CONT 5)
+net_loop_frames=$(pick_susp SUSP_NET_LOOPBACK 6)
+net_loop_kb=$(pick_susp SUSP_NET_LOOPBACK 7)
+
+# Networked interactive front-end: the bench_net smoke (1k connections
+# multiplexed over a few mux threads against 8 event loops, fork-isolated
+# server). Exits nonzero on any protocol error, which fails the snapshot.
+net_out=$("$BUILD_DIR/bench_net" --smoke)
+pick_net() { printf '%s\n' "$net_out" | awk -v k="$1" \
+             '$1==k {print $2+0; exit}'; }
+net_tps=$(pick_net "txn/s")
+# "p50 latency <n> us": the number is the third field.
+net_p50_us=$(printf '%s\n' "$net_out" | awk '$1=="p50" {print $3+0; exit}')
+net_p99_us=$(printf '%s\n' "$net_out" | awk '$1=="p99" {print $3+0; exit}')
+net_commits=$(pick_net "commits")
+net_aborts=$(pick_net "aborts")
+net_susp=$(pick_net "suspended_txns")
+net_cont=$(pick_net "continuations")
+net_frames=$(pick_net "net_frames")
+net_bytes=$(pick_net "net_bytes")
 
 # Lock-table microbenchmarks (ns/op), when google-benchmark is available.
 sh_ns=null; ex_ns=null; txn16_ns=null; chain_ns=null; multiget_ns=null
@@ -176,6 +207,25 @@ cat > "$OUT" <<EOF
     "txn_16_ops": $txn16_ns,
     "retired_dependency_chain": $chain_ns,
     "multiget_16": $multiget_ns
+  },
+  "networked_interactive": {
+    "note": "bench_net --smoke: 1k closed-loop connections multiplexed over a few client threads against 8 epoll loops (continuation suspension, fork-isolated server); SUSP_* rows compare futex parking vs continuation suspension on the interactive single-hotspot mix",
+    "smoke_conns": 1000,
+    "smoke_txn_per_s": ${net_tps:-null},
+    "smoke_p50_us": ${net_p50_us:-null},
+    "smoke_p99_us": ${net_p99_us:-null},
+    "smoke_commits": ${net_commits:-null},
+    "smoke_aborts": ${net_aborts:-null},
+    "smoke_suspended_txns": ${net_susp:-null},
+    "smoke_continuations_fired": ${net_cont:-null},
+    "smoke_net_frames": ${net_frames:-null},
+    "smoke_net_bytes": ${net_bytes:-null},
+    "susp_futex_txn_per_s": ${susp_futex_tput:-null},
+    "susp_continuation_txn_per_s": ${susp_cont_tput:-null},
+    "susp_continuation_susp_per_txn": ${susp_cont_per_txn:-null},
+    "susp_continuation_cont_per_txn": ${cont_fired_per_txn:-null},
+    "loopback_net_frames": ${net_loop_frames:-null},
+    "loopback_net_kb": ${net_loop_kb:-null}
   }
 }
 EOF

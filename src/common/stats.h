@@ -69,6 +69,15 @@ struct alignas(kCacheLineSize) ThreadStats {
   /// 1 degraded, 2 read-only.
   uint64_t health_state = 0;
 
+  // --- transaction suspension (SuspendMode::kContinuation) and the
+  // network front-end. net_frames/net_bytes are counted by the server's
+  // event loops (frames decoded + encoded, payload bytes in both
+  // directions); zero for embedded runs.
+  uint64_t suspended_txns = 0;       ///< statements parked as continuations
+  uint64_t continuations_fired = 0;  ///< continuation wakeups dispatched
+  uint64_t net_frames = 0;           ///< protocol frames decoded + encoded
+  uint64_t net_bytes = 0;            ///< protocol bytes received + sent
+
   // --- adaptive contention policy (LockManager::PolicyTierTotals, folded
   // in at run end; all zero in fixed policy mode). heats/cools count tier
   // transitions; cold/hot_rows are the end-of-run tier populations.
@@ -110,6 +119,10 @@ struct alignas(kCacheLineSize) ThreadStats {
     if (o.health_state > health_state) {
       health_state = o.health_state;  // worst health observed, not a sum
     }
+    suspended_txns += o.suspended_txns;
+    continuations_fired += o.continuations_fired;
+    net_frames += o.net_frames;
+    net_bytes += o.net_bytes;
     policy_heats += o.policy_heats;
     policy_cools += o.policy_cools;
     policy_cold_rows += o.policy_cold_rows;

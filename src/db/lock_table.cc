@@ -1259,6 +1259,25 @@ AccessGrant LockManager::FinalizeGrant(LockEntry* e, Row* row, TxnCB* txn,
   return grant;
 }
 
+bool LockManager::UnfuseWaiter(Row* row, GrantToken token) {
+  TxnCB* txn = token->txn;
+  t_exec_stats = txn->stats;  // only the owning thread suspends its waits
+  ShardGuard g(ShardOf(row), txn->stats);
+  // Pending means the grant has not happened: still linked among the
+  // waiters, or still an ungranted upgrade (GrantUpgrade clears
+  // `upgrading` under this latch before touching the fused fn). A request
+  // the promoter is granting right now is excluded by the same latch --
+  // PromoteWaiters/TryGrantUpgrade move the node out of the waiters list /
+  // clear `upgrading` while holding it.
+  const bool pending =
+      token->queue == ReqQueue::kWaiters || token->upgrading;
+  if (!pending) return false;
+  token->rmw_fn = nullptr;
+  token->rmw_arg = nullptr;
+  token->rmw_retire = false;
+  return true;
+}
+
 bool LockManager::RmwRetired(Row* row, GrantToken token, RmwFn fn, void* arg) {
   TxnCB* txn = token->txn;
   t_exec_stats = txn->stats;  // own-write RMWs only run on the owning thread

@@ -403,6 +403,22 @@ class LockManager {
   /// just reports the final state off the token.
   AccessGrant Resume(const AccessRequest& req, TxnCB* txn, GrantToken token);
 
+  /// Strip the fused RMW (rmw_fn / rmw_arg / rmw_retire) off a request
+  /// that is still pending -- waiting in the queue, or holding an
+  /// ungranted SH->EX upgrade. Returns true if the request was still
+  /// pending and is now a plain EX wait; returns false if the grant
+  /// already happened (or is happening: lock_granted was set under this
+  /// same latch), in which case the promoter applied the fused fn and the
+  /// caller must treat the access as granted.
+  ///
+  /// This exists for the continuation suspension path: a suspending
+  /// statement's rmw_arg may point into its (dying) stack frame, and
+  /// PromoteWaiters applies fused fns on the *promoting* thread at an
+  /// arbitrary later time. Unfusing before the frame dies makes the
+  /// pending request safe; the resumed statement re-applies the RMW with a
+  /// replay-fresh argument and retires explicitly.
+  bool UnfuseWaiter(Row* row, GrantToken token);
+
   /// RMW-own-write on an already-retired EX version (a second write by the
   /// same transaction to a row whose lock it released early). Lands the
   /// RMW in place iff no dependent has registered on the retired entry --

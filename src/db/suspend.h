@@ -1,0 +1,129 @@
+#ifndef BAMBOO_SRC_DB_SUSPEND_H_
+#define BAMBOO_SRC_DB_SUSPEND_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/db/txn.h"
+
+namespace bamboo {
+
+/// Multi-producer single-consumer ready queue for suspended transactions
+/// (SuspendMode::kContinuation). Producers are lock-table notification
+/// paths (grant / wound / semaphore drain) running TxnCB::susp_fire on
+/// whatever thread released the lock; the single consumer is the driver
+/// that owns the suspended transactions (a bench worker or an epoll loop).
+///
+/// Structure: a Treiber push stack over the intrusive `TxnCB::ready_next`
+/// link. Push never blocks; PopAll exchanges the head to nullptr, so the
+/// consumer drains in O(1) and resumes in LIFO order (order is irrelevant
+/// -- every popped transaction is independently runnable).
+///
+/// A transaction is pushed at most once per suspension: susp_fire runs
+/// only after Notify's exclusive exchange claims the armed flag, and the
+/// flag is armed only while the transaction is *not* enqueued (the driver
+/// re-arms, if at all, only after popping it). So `ready_next` can never
+/// be overwritten while the node is linked.
+///
+/// Wakeup has two flavors, selected at construction:
+///  - futex gate (bench runner): the consumer parks on `gen` via
+///    std::atomic wait/notify when it has nothing else to do. `sleeping_`
+///    keeps the notify off the producer's fast path unless someone is
+///    actually parked.
+///  - eventfd (epoll server): the producer writes the fd so the event
+///    loop's epoll_wait returns. `event_pending_` collapses bursts into
+///    one write per drain cycle.
+class ResumeQueue {
+ public:
+  ResumeQueue() = default;
+  ResumeQueue(const ResumeQueue&) = delete;
+  ResumeQueue& operator=(const ResumeQueue&) = delete;
+
+  /// Install an eventfd to poke instead of (not in addition to) the futex
+  /// gate. The queue does not own the fd. Pass the platform write hook so
+  /// this header stays free of <sys/eventfd.h> (tests stub it).
+  void SetEventFd(int fd, void (*poke)(int)) {
+    event_fd_ = fd;
+    event_poke_ = poke;
+  }
+
+  /// Producer side; safe from any thread, including under no locks on a
+  /// lock-table release path. This is the canonical TxnCB::susp_fire
+  /// target (via FireThunk).
+  void Push(TxnCB* t) {
+    TxnCB* h = head_.load(std::memory_order_relaxed);
+    do {
+      t->ready_next = h;
+    } while (!head_.compare_exchange_weak(h, t, std::memory_order_release,
+                                          std::memory_order_relaxed));
+    gen_.fetch_add(1, std::memory_order_release);
+    if (event_poke_ != nullptr) {
+      // One eventfd write per drain cycle: the consumer clears the flag
+      // after reading the fd, so a burst of fires costs one syscall.
+      if (!event_pending_.exchange(true, std::memory_order_acq_rel)) {
+        event_poke_(event_fd_);
+      }
+    } else if (sleeping_.load(std::memory_order_seq_cst)) {
+      gen_.notify_all();
+    }
+  }
+
+  /// Consumer side: detach the whole stack (LIFO chain via ready_next),
+  /// or nullptr when empty. The consumer must read each node's
+  /// `ready_next` *before* acting on the node -- resuming it may re-arm
+  /// and re-push it, overwriting the link.
+  TxnCB* PopAll() { return head_.exchange(nullptr, std::memory_order_acquire); }
+
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+  /// Consumer side, futex flavor: park until Push bumps `gen` past the
+  /// value observed before the caller's last empty PopAll, or `stop`
+  /// becomes true (checked via Kick -- the stopping thread must call
+  /// Kick() after setting its flag).
+  void WaitNonEmpty() {
+    uint32_t g = gen_.load(std::memory_order_acquire);
+    if (!Empty()) return;
+    sleeping_.store(true, std::memory_order_seq_cst);
+    // Re-check after publishing sleeping_: a Push between the loads above
+    // and the store would otherwise skip the notify and strand us.
+    if (Empty()) gen_.wait(g, std::memory_order_acquire);
+    sleeping_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Unblock the consumer without pushing (shutdown, external state
+  /// change). Safe from any thread.
+  void Kick() {
+    gen_.fetch_add(1, std::memory_order_release);
+    gen_.notify_all();
+    if (event_poke_ != nullptr &&
+        !event_pending_.exchange(true, std::memory_order_acq_rel)) {
+      event_poke_(event_fd_);
+    }
+  }
+
+  /// Consumer side, eventfd flavor: call after draining the eventfd so the
+  /// next Push issues a fresh write.
+  void ClearEventPending() {
+    event_pending_.store(false, std::memory_order_release);
+  }
+
+  /// Adapter matching the TxnCB::susp_fire signature; expects
+  /// `t->susp_ctx` to point at the ResumeQueue.
+  static void FireThunk(TxnCB* t) {
+    static_cast<ResumeQueue*>(t->susp_ctx)->Push(t);
+  }
+
+ private:
+  std::atomic<TxnCB*> head_{nullptr};
+  std::atomic<uint32_t> gen_{0};
+  std::atomic<bool> sleeping_{false};
+  std::atomic<bool> event_pending_{false};
+  int event_fd_ = -1;
+  void (*event_poke_)(int) = nullptr;
+};
+
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_DB_SUSPEND_H_

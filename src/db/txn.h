@@ -132,6 +132,29 @@ struct alignas(64) TxnCB {
   /// detached outcome is published so a slot-starved worker wakes up.
   std::atomic<uint32_t>* owner_wake = nullptr;
 
+  // --- continuation suspension (SuspendMode::kContinuation).
+  // When a statement would block, the handle records resume state, arms
+  // `susp_armed`, and returns RC::kSuspended instead of futex-parking.
+  // Every wakeup path already funnels through Notify() (grant, wound,
+  // semaphore drain), which claims the armed flag with an exchange and
+  // invokes `susp_fire` exactly once per arming. The arming side uses the
+  // same Dekker pattern as the futex eventcount: store-armed, seq_cst
+  // fence, re-check the wait predicate -- if it already holds, reclaim the
+  // flag (exchange back to 0) and proceed inline; losing the exchange
+  // means a notifier owns the fire.
+  std::atomic<uint8_t> susp_armed{0};
+  /// Continuation dispatch, installed once by the driver (bench runner or
+  /// network server); nullptr keeps futex semantics regardless of
+  /// Config::suspend_mode. Runs on the *notifying* thread (a lock-table
+  /// release path, under no latches) -- it must only enqueue, never
+  /// re-enter the engine.
+  void (*susp_fire)(TxnCB*) = nullptr;
+  void* susp_ctx = nullptr;   ///< driver context for susp_fire (e.g. queue)
+  void* susp_user = nullptr;  ///< driver per-txn cookie (e.g. connection)
+  /// Intrusive link for the driver's ready queue; owned by the driver
+  /// between fire and resume (see ResumeQueue in src/db/suspend.h).
+  TxnCB* ready_next = nullptr;
+
   // --- per-attempt bookkeeping (single-threaded)
   int planned_ops = 0;  ///< declared txn length; enables the Opt 2 tail rule
   int ops_done = 0;
@@ -167,6 +190,7 @@ struct alignas(64) TxnCB {
     dep_log_epoch.store(0, std::memory_order_relaxed);
     detached.store(false, std::memory_order_relaxed);
     detach_state.store(0, std::memory_order_relaxed);
+    susp_armed.store(0, std::memory_order_relaxed);
     planned_ops = 0;
     ops_done = 0;
     deps_taken = 0;
@@ -194,6 +218,16 @@ struct alignas(64) TxnCB {
   void Notify() {
     signal.fetch_add(1, std::memory_order_release);
     signal.notify_all();
+    // Continuation dispatch. The seq_cst fence pairs with the arming
+    // side's fence: either this load sees the armed flag, or the armer's
+    // predicate re-check sees the state change that prompted this Notify.
+    // The exchange makes the fire exclusive -- concurrent notifiers (e.g.
+    // a grant racing a wound) dispatch at most once per arming.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (susp_armed.load(std::memory_order_relaxed) != 0 &&
+        susp_armed.exchange(0, std::memory_order_acq_rel) != 0) {
+      susp_fire(this);
+    }
   }
 
   /// Park until `pred()` holds. The caller re-checks under no lock, so the

@@ -54,6 +54,142 @@ void TxnHandle::MaybeReset() {
   chunk_idx_ = 0;
   chunk_off_ = 0;
   big_chunks_.clear();
+  susp_kind_ = SuspKind::kNone;
+  stmt_idx_ = 0;
+  stmts_done_ = 0;
+  rtts_paid_ = 0;
+  in_batch_build_ = false;
+  batch_live_ = false;
+  batch_j_ = -1;
+  hits_live_ = false;
+  hits_done_ = 0;
+  rmw_hits_.clear();
+  memo_.clear();
+  memo_out_.clear();
+}
+
+// --- continuation suspension ------------------------------------------------
+
+bool TxnHandle::PayRtt(int my_idx) {
+  if (my_idx < 0) return true;  // futex mode: every execution pays
+  if (my_idx < rtts_paid_) return false;  // replayed statement: paid already
+  rtts_paid_ = my_idx + 1;
+  return true;
+}
+
+bool TxnHandle::StmtResolved() const {
+  return txn_->lock_granted.load(std::memory_order_acquire) != 0 ||
+         txn_->IsAborted();
+}
+
+bool TxnHandle::CommitDrained() const {
+  return txn_->commit_semaphore.load(std::memory_order_acquire) <= 0 ||
+         txn_->IsAborted();
+}
+
+bool TxnHandle::ArmSuspension(SuspKind kind) {
+  susp_kind_ = kind;
+  susp_start_ns_ = NowNs();
+  txn_->susp_armed.store(1, std::memory_order_release);
+  // Pairs with the fence in TxnCB::Notify: either the notifier sees the
+  // armed flag, or this re-check sees the state change it published.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const bool resolved =
+      kind == SuspKind::kCommit ? CommitDrained() : StmtResolved();
+  if (resolved &&
+      txn_->susp_armed.exchange(0, std::memory_order_acq_rel) != 0) {
+    // Reclaimed the arm before any notifier claimed it: the wait is over,
+    // proceed inline (no continuation will fire for this arming).
+    susp_kind_ = SuspKind::kNone;
+    return false;
+  }
+  // Either the wait is still pending, or a notifier won the exchange and
+  // the continuation is on its way to the driver's queue -- report
+  // suspended in both cases so the resume happens exactly once.
+  if (txn_->stats != nullptr) txn_->stats->suspended_txns++;
+  return true;
+}
+
+bool TxnHandle::ReArm() {
+  txn_->susp_armed.store(1, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const bool resolved =
+      susp_kind_ == SuspKind::kCommit ? CommitDrained() : StmtResolved();
+  if (resolved &&
+      txn_->susp_armed.exchange(0, std::memory_order_acq_rel) != 0) {
+    return false;  // resolved during the re-arm; caller proceeds
+  }
+  return true;
+}
+
+RC TxnHandle::ResumeSuspended() {
+  if (susp_kind_ == SuspKind::kStatement) {
+    if (!StmtResolved() && ReArm()) return RC::kSuspended;  // spurious fire
+    susp_kind_ = SuspKind::kNone;
+    if (txn_->stats != nullptr) {
+      txn_->stats->lock_wait_ns += NowNs() - susp_start_ns_;
+    }
+    return RC::kPending;  // driver replays; the statement finishes itself
+  }
+  if (susp_kind_ == SuspKind::kCommit) {
+    if (!CommitDrained() && ReArm()) return RC::kSuspended;
+    susp_kind_ = SuspKind::kNone;
+    if (txn_->stats != nullptr) {
+      txn_->stats->commit_wait_ns += NowNs() - susp_start_ns_;
+    }
+    return CommitTail();
+  }
+  return RC::kPending;  // stale fire after resolution; nothing to do
+}
+
+void TxnHandle::StmtDone(int idx, RC rc, const char* rd, char* wd) {
+  if (static_cast<size_t>(idx) >= memo_.size()) {
+    memo_.resize(static_cast<size_t>(idx) + 1);
+  }
+  memo_[static_cast<size_t>(idx)] = {rc, rd, wd, 0, 0};
+  stmts_done_ = idx + 1;
+}
+
+void TxnHandle::StmtDoneBatch(int idx, const char** outs, int n) {
+  if (static_cast<size_t>(idx) >= memo_.size()) {
+    memo_.resize(static_cast<size_t>(idx) + 1);
+  }
+  size_t off = memo_out_.size();
+  for (int i = 0; i < n; i++) memo_out_.push_back(outs[i]);
+  memo_[static_cast<size_t>(idx)] = {RC::kOk, nullptr, nullptr, off, n};
+  stmts_done_ = idx + 1;
+}
+
+RC TxnHandle::FinishWait(Access* a, RmwFn fn, void* arg, bool retire_now) {
+  // The suspension resolved (or the arm was reclaimed), so this returns
+  // immediately in the common case; a wound resolves it too.
+  uint64_t waited = WaitForLock(a->row);
+  if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
+  AccessRequest req;
+  req.row = a->row;
+  req.type = a->type;
+  if (a->state == AccState::kWaitingUpgrade) {
+    // Report the upgrade off the token (GrantUpgrade completed it); the
+    // fused fn, if any, was stripped at suspension, so the version is
+    // untouched and the RMW applies below.
+    req.upgrade_of = a->token;
+  } else if (a->type == LockType::kSH) {
+    req.read_buf = a->data;  // the arena buf stored at enqueue
+  }
+  AccessGrant g = lm_->Resume(req, txn_, a->token);
+  if (g.rc != AcqResult::kGranted) return FailAttempt();
+  a->state = g.retired ? AccState::kRetired : AccState::kOwner;
+  if (a->type == LockType::kEX) {
+    a->data = g.write_data;
+    if (fn != nullptr) {
+      fn(a->data, arg);  // replay-fresh argument, frame alive
+      if (retire_now && a->state == AccState::kOwner &&
+          lm_->Retire(a->row, a->token, /*tail_write=*/false)) {
+        a->state = AccState::kRetired;
+      }
+    }
+  }
+  return RC::kOk;
 }
 
 TxnHandle::Access* TxnHandle::FindAccess(Row* row) {
@@ -135,15 +271,34 @@ uint64_t TxnHandle::WaitForLock(Row* row) {
 
 RC TxnHandle::Read(HashIndex* index, uint64_t key, const char** data) {
   MaybeReset();
+  int my_idx = -1;
+  if (ContMode()) {
+    my_idx = stmt_idx_++;
+    if (my_idx < stmts_done_) {
+      *data = memo_[static_cast<size_t>(my_idx)].read_data;
+      return memo_[static_cast<size_t>(my_idx)].rc;
+    }
+  }
   if (txn_->IsAborted()) return RC::kAbort;
-  if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
+  if (cfg_.mode == ExecMode::kInteractive && PayRtt(my_idx)) {
+    SimulateRtt(cfg_.interactive_rtt_us);
+  }
   Row* row = index->Get(key);
   if (row == nullptr) return FailAttempt();
-  return ReadRow(row, data);
+  RC rc = ReadRow(row, data);
+  if (rc == RC::kOk && my_idx >= 0) StmtDone(my_idx, rc, *data, nullptr);
+  return rc;
 }
 
 RC TxnHandle::ReadRow(Row* row, const char** data) {
-  if (const Access* a = FindAccess(row)) {
+  if (Access* a = FindAccess(row)) {
+    if (a->state == AccState::kWaiting ||
+        a->state == AccState::kWaitingUpgrade) {
+      // Replay of the statement that suspended on this row: its grant
+      // resolved (that is what fired the continuation), finish it.
+      RC rc = FinishWait(a, nullptr, nullptr, /*retire_now=*/false);
+      if (rc != RC::kOk) return rc;
+    }
     *data = a->data;  // repeatable read / read-own-write
     return RC::kOk;
   }
@@ -160,11 +315,12 @@ RC TxnHandle::ReadRow(Row* row, const char** data) {
   if (g.rc == AcqResult::kWait) {
     accesses_.push_back({row, LockType::kSH, AccState::kWaiting, buf, g.token});
     NoteAccess(row);
-    uint64_t waited = WaitForLock(row);
-    if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
-    g = lm_->Resume(req, txn_, g.token);
-    if (g.rc != AcqResult::kGranted) return FailAttempt();
-    accesses_.back().state = g.retired ? AccState::kRetired : AccState::kOwner;
+    if (CanSuspend() && ArmSuspension(SuspKind::kStatement)) {
+      return RC::kSuspended;
+    }
+    RC rc = FinishWait(&accesses_.back(), nullptr, nullptr,
+                       /*retire_now=*/false);
+    if (rc != RC::kOk) return rc;
     *data = buf;
     return RC::kOk;
   }
@@ -179,12 +335,34 @@ RC TxnHandle::ReadRow(Row* row, const char** data) {
 
 RC TxnHandle::Update(HashIndex* index, uint64_t key, char** data) {
   MaybeReset();
+  int my_idx = -1;
+  if (ContMode()) {
+    my_idx = stmt_idx_++;
+    if (my_idx < stmts_done_) {
+      *data = memo_[static_cast<size_t>(my_idx)].write_data;
+      return memo_[static_cast<size_t>(my_idx)].rc;
+    }
+  }
   if (txn_->IsAborted()) return RC::kAbort;
-  if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
+  if (cfg_.mode == ExecMode::kInteractive && PayRtt(my_idx)) {
+    SimulateRtt(cfg_.interactive_rtt_us);
+  }
   Row* row = index->Get(key);
   if (row == nullptr) return FailAttempt();
+  RC rc = UpdateRow(row, data);
+  if (rc == RC::kOk && my_idx >= 0) StmtDone(my_idx, rc, nullptr, *data);
+  return rc;
+}
 
+RC TxnHandle::UpdateRow(Row* row, char** data) {
   if (Access* a = FindAccess(row)) {
+    if (a->state == AccState::kWaiting ||
+        a->state == AccState::kWaitingUpgrade) {
+      RC rc = FinishWait(a, nullptr, nullptr, /*retire_now=*/false);
+      if (rc != RC::kOk) return rc;
+      *data = a->data;
+      return RC::kOk;
+    }
     if (cfg_.protocol == Protocol::kSilo) {
       SiloPromoteToWrite(row, a);
       *data = a->data;  // Silo buffers are txn-local: just write the copy
@@ -216,13 +394,13 @@ RC TxnHandle::Update(HashIndex* index, uint64_t key, char** data) {
     accesses_.push_back(
         {row, LockType::kEX, AccState::kWaiting, nullptr, g.token});
     NoteAccess(row);
-    uint64_t waited = WaitForLock(row);
-    if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
-    g = lm_->Resume(req, txn_, g.token);
-    if (g.rc != AcqResult::kGranted) return FailAttempt();
-    accesses_.back().state = AccState::kOwner;
-    accesses_.back().data = g.write_data;
-    *data = g.write_data;
+    if (CanSuspend() && ArmSuspension(SuspKind::kStatement)) {
+      return RC::kSuspended;
+    }
+    RC rc = FinishWait(&accesses_.back(), nullptr, nullptr,
+                       /*retire_now=*/false);
+    if (rc != RC::kOk) return rc;
+    *data = accesses_.back().data;
     return RC::kOk;
   }
   if (g.rc != AcqResult::kGranted) return FailGrant(g);
@@ -235,15 +413,32 @@ RC TxnHandle::Update(HashIndex* index, uint64_t key, char** data) {
 
 RC TxnHandle::UpdateRmw(HashIndex* index, uint64_t key, RmwFn fn, void* arg) {
   MaybeReset();
+  int my_idx = -1;
+  if (ContMode()) {
+    my_idx = stmt_idx_++;
+    if (my_idx < stmts_done_) return memo_[static_cast<size_t>(my_idx)].rc;
+  }
   if (txn_->IsAborted()) return RC::kAbort;
-  if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
+  if (cfg_.mode == ExecMode::kInteractive && PayRtt(my_idx)) {
+    SimulateRtt(cfg_.interactive_rtt_us);
+  }
   Row* row = index->Get(key);
   if (row == nullptr) return FailAttempt();
-  return UpdateRmwRow(row, fn, arg);
+  RC rc = UpdateRmwRow(row, fn, arg);
+  if (rc == RC::kOk && my_idx >= 0) StmtDone(my_idx, rc, nullptr, nullptr);
+  return rc;
 }
 
 RC TxnHandle::UpdateRmwRow(Row* row, RmwFn fn, void* arg) {
   if (Access* a = FindAccess(row)) {
+    if (a->state == AccState::kWaiting ||
+        a->state == AccState::kWaitingUpgrade) {
+      // Replay of the suspended statement. The wait was unfused before the
+      // suspension (only unfused waits suspend), so the grant is plain and
+      // the replay-fresh fn/arg apply here, exactly once.
+      return FinishWait(a, fn, arg,
+                        cfg_.protocol == Protocol::kBamboo && !TailWrite());
+    }
     if (cfg_.protocol == Protocol::kSilo) {
       SiloPromoteToWrite(row, a);
       fn(a->data, arg);
@@ -286,6 +481,14 @@ RC TxnHandle::UpdateRmwRow(Row* row, RmwFn fn, void* arg) {
     accesses_.push_back(
         {row, LockType::kEX, AccState::kWaiting, nullptr, g.token});
     NoteAccess(row);
+    if (CanSuspend() && lm_->UnfuseWaiter(row, g.token)) {
+      // The fused fn/arg are stripped so a promoting thread can never
+      // apply them after this frame dies; the RMW lands in FinishWait.
+      if (ArmSuspension(SuspKind::kStatement)) return RC::kSuspended;
+      return FinishWait(&accesses_.back(), fn, arg, req.retire_now);
+    }
+    // Futex mode -- or the grant beat the unfuse, in which case the
+    // promoter applied the fused fn while this frame is alive.
     uint64_t waited = WaitForLock(row);
     if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
     g = lm_->Resume(req, txn_, g.token);
@@ -315,7 +518,15 @@ RC TxnHandle::UpgradeAccess(Access* a, RmwFn fn, void* arg, char** data_out) {
   AccessGrant g = lm_->Submit(req, txn_);
   if (g.rc == AcqResult::kWait) {
     a->type = LockType::kEX;
-    a->state = AccState::kWaiting;
+    a->state = AccState::kWaitingUpgrade;
+    if (CanSuspend() &&
+        (fn == nullptr || lm_->UnfuseWaiter(a->row, a->token))) {
+      if (ArmSuspension(SuspKind::kStatement)) return RC::kSuspended;
+      RC rc = FinishWait(a, fn, arg, req.retire_now);
+      if (rc != RC::kOk) return rc;
+      if (data_out != nullptr) *data_out = a->data;
+      return RC::kOk;
+    }
     uint64_t waited = WaitForLock(a->row);
     if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
     g = lm_->Resume(req, txn_, a->token);
@@ -331,11 +542,39 @@ RC TxnHandle::UpgradeAccess(Access* a, RmwFn fn, void* arg, char** data_out) {
 RC TxnHandle::ReadMany(HashIndex* index, const uint64_t* keys, int n,
                        const char** data_out) {
   MaybeReset();
+  int my_idx = -1;
+  if (ContMode()) {
+    my_idx = stmt_idx_++;
+    if (my_idx < stmts_done_) {
+      const StmtMemo& m = memo_[static_cast<size_t>(my_idx)];
+      for (int i = 0; i < m.out_n; i++) {
+        data_out[i] = memo_out_[m.out_off + static_cast<size_t>(i)];
+      }
+      return m.rc;
+    }
+  }
   if (txn_->IsAborted()) return RC::kAbort;
-  if (n <= 0) return RC::kOk;
+  if (n <= 0) {
+    if (my_idx >= 0) StmtDoneBatch(my_idx, data_out, 0);
+    return RC::kOk;
+  }
   // One simulated round trip for the whole batch: a multi-key statement is
   // exactly what the interactive mode's per-statement RTT amortizes over.
-  if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
+  if (cfg_.mode == ExecMode::kInteractive && PayRtt(my_idx)) {
+    SimulateRtt(cfg_.interactive_rtt_us);
+  }
+
+  if (batch_live_) {
+    // Replay of the suspended batch statement: batch_/pend_/uniq_data_ are
+    // still live; re-enter the submission loop where it parked. Building
+    // the batch again would re-apply nothing here (SH), but the resume
+    // path is shared with UpdateRmwMany, where it must not rebuild.
+    RC rc = RunBatch(nullptr, nullptr);
+    if (rc != RC::kOk) return rc;
+    FillReadManyOut(data_out);
+    if (my_idx >= 0) StmtDoneBatch(my_idx, data_out, n);
+    return RC::kOk;
+  }
 
   batch_.clear();
   for (int i = 0; i < n; i++) batch_.push_back({keys[i], i});
@@ -362,6 +601,7 @@ RC TxnHandle::ReadMany(HashIndex* index, const uint64_t* keys, int n,
       prev_data = d;
       have_prev = true;
     }
+    if (my_idx >= 0) StmtDoneBatch(my_idx, data_out, n);
     return RC::kOk;
   }
 
@@ -370,6 +610,7 @@ RC TxnHandle::ReadMany(HashIndex* index, const uint64_t* keys, int n,
   // uniq_data_ collects the image per distinct key, in key order.
   pend_.clear();
   uniq_data_.clear();
+  in_batch_build_ = true;
   bool have_prev = false;
   uint64_t prev_key = 0;
   for (const BatchKey& b : batch_) {
@@ -377,7 +618,10 @@ RC TxnHandle::ReadMany(HashIndex* index, const uint64_t* keys, int n,
     prev_key = b.key;
     have_prev = true;
     Row* row = index->Get(b.key);
-    if (row == nullptr) return FailAttempt();
+    if (row == nullptr) {
+      in_batch_build_ = false;
+      return FailAttempt();
+    }
     if (const Access* a = FindAccess(row)) {
       uniq_data_.push_back(a->data);  // repeatable read / read-own-write
       continue;
@@ -389,13 +633,20 @@ RC TxnHandle::ReadMany(HashIndex* index, const uint64_t* keys, int n,
                      /*fn=*/nullptr, /*arg=*/nullptr, /*retire_now=*/false});
     uniq_data_.push_back(buf);
   }
-  RC rc = SubmitPending(LockType::kSH);
+  in_batch_build_ = false;
+  RC rc = SubmitPending(LockType::kSH, nullptr, nullptr);
   if (rc != RC::kOk) return rc;
+  FillReadManyOut(data_out);
+  if (my_idx >= 0) StmtDoneBatch(my_idx, data_out, n);
+  return RC::kOk;
+}
 
+void TxnHandle::FillReadManyOut(const char** data_out) {
   // Fill the caller's slots in key order, advancing one uniq_data_ slot
   // per distinct key (duplicates share the copy).
   int u = -1;
-  have_prev = false;
+  bool have_prev = false;
+  uint64_t prev_key = 0;
   for (const BatchKey& b : batch_) {
     if (!have_prev || b.key != prev_key) {
       u++;
@@ -404,15 +655,41 @@ RC TxnHandle::ReadMany(HashIndex* index, const uint64_t* keys, int n,
     }
     data_out[b.idx] = uniq_data_[static_cast<size_t>(u)];
   }
-  return RC::kOk;
 }
 
 RC TxnHandle::UpdateRmwMany(HashIndex* index, const uint64_t* keys, int n,
                             RmwFn fn, void* arg) {
   MaybeReset();
+  int my_idx = -1;
+  if (ContMode()) {
+    my_idx = stmt_idx_++;
+    if (my_idx < stmts_done_) return memo_[static_cast<size_t>(my_idx)].rc;
+  }
   if (txn_->IsAborted()) return RC::kAbort;
-  if (n <= 0) return RC::kOk;
-  if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
+  if (n <= 0) {
+    if (my_idx >= 0) StmtDone(my_idx, RC::kOk, nullptr, nullptr);
+    return RC::kOk;
+  }
+  if (cfg_.mode == ExecMode::kInteractive && PayRtt(my_idx)) {
+    SimulateRtt(cfg_.interactive_rtt_us);
+  }
+
+  if (batch_live_) {
+    // Replay of the suspended batch statement. Rebuilding the batch would
+    // re-apply RMWs through the dedup own-write path, so the suspended
+    // submission state stays live and the loop resumes where it parked
+    // (with the replay-fresh fn/arg swapped in for unsubmitted entries).
+    RC rc = RunBatch(fn, arg);
+    if (rc != RC::kOk) return rc;
+    return RunRmwHits(my_idx, fn, arg);
+  }
+  if (hits_live_) {
+    // Suspended inside the dedup-hit phase (an SH->EX upgrade parked);
+    // the batch itself already completed. hits_done_ skips everything
+    // already applied; the parked upgrade resolves through the
+    // kWaitingUpgrade branch of the scalar path.
+    return RunRmwHits(my_idx, fn, arg);
+  }
 
   batch_.clear();
   for (int i = 0; i < n; i++) batch_.push_back({keys[i], i});
@@ -447,17 +724,25 @@ RC TxnHandle::UpdateRmwMany(HashIndex* index, const uint64_t* keys, int n,
       }
       if (rc != RC::kOk) return rc;
     }
+    if (my_idx >= 0) StmtDone(my_idx, RC::kOk, nullptr, nullptr);
     return RC::kOk;
   }
 
-  // Pass 1 (key order): dedup hits go through the scalar path (own-write
-  // application or SH->EX upgrade -- upgrades never enter SubmitMany); new
-  // rows are staged for the sharded batch. rmw_reps_ must not reallocate
-  // once an entry's address is handed to a request: a promoting thread may
-  // apply the coalesced RMW while this worker parks on another key.
+  // Pass 1 (key order): dedup hits are only *collected* here -- they run
+  // after the batch submits, in RunRmwHits, where an SH->EX upgrade that
+  // blocks may suspend and replay from an intra-statement cursor. Applying
+  // them inline would block inside the build (in_batch_build_ forbids
+  // arming), which deadlocks an event-loop driver whose other connections
+  // hold the conflicting locks. New rows are staged for the sharded batch.
+  // rmw_reps_ must not reallocate once an entry's address is handed to a
+  // request: a promoting thread may apply the coalesced RMW while this
+  // worker parks on another key.
   pend_.clear();
   rmw_reps_.clear();
   rmw_reps_.reserve(static_cast<size_t>(n));
+  rmw_hits_.clear();
+  hits_done_ = 0;
+  in_batch_build_ = true;
   int uniq = 0;
   for (size_t i = 0; i < batch_.size();) {
     const uint64_t key = batch_[i].key;
@@ -465,16 +750,12 @@ RC TxnHandle::UpdateRmwMany(HashIndex* index, const uint64_t* keys, int n,
     while (i + run < batch_.size() && batch_[i + run].key == key) run++;
     i += static_cast<size_t>(run);
     Row* row = index->Get(key);
-    if (row == nullptr) return FailAttempt();
+    if (row == nullptr) {
+      in_batch_build_ = false;
+      return FailAttempt();
+    }
     if (FindAccess(row) != nullptr) {
-      RC rc;
-      if (run == 1) {
-        rc = UpdateRmwRow(row, fn, arg);
-      } else {
-        RmwRepeat rep{fn, arg, run};  // scalar path resolves before returning
-        rc = UpdateRmwRow(row, repeat_fn, &rep);
-      }
-      if (rc != RC::kOk) return rc;
+      rmw_hits_.push_back({row, run});
       continue;
     }
     txn_->ops_done++;
@@ -484,13 +765,50 @@ RC TxnHandle::UpdateRmwMany(HashIndex* index, const uint64_t* keys, int n,
       rmw_reps_.push_back({fn, arg, run});
       p.fn = repeat_fn;
       p.arg = &rmw_reps_.back();
+      p.reps = run;
     }
     pend_.push_back(p);
   }
-  return SubmitPending(LockType::kEX);
+  in_batch_build_ = false;
+  RC rc = SubmitPending(LockType::kEX, fn, arg);
+  if (rc != RC::kOk) return rc;
+  return RunRmwHits(my_idx, fn, arg);
 }
 
-RC TxnHandle::SubmitPending(LockType type) {
+RC TxnHandle::RunRmwHits(int my_idx, RmwFn fn, void* arg) {
+  // Dedup-hit phase of UpdateRmwMany: own-write applications and SH->EX
+  // upgrades, after the batch has fully submitted. hits_done_ is the
+  // replay cursor -- an upgrade that suspends re-enters here and the
+  // completed prefix (whose RMWs already landed) is skipped, never
+  // re-applied. The in-flight upgrade itself resolves through the scalar
+  // path's kWaitingUpgrade branch, which applies the fresh fn at grant.
+  RmwFn repeat_fn = [](char* d, void* a) {
+    const RmwRepeat* r = static_cast<const RmwRepeat*>(a);
+    for (int i = 0; i < r->n; i++) r->fn(d, r->arg);
+  };
+  hits_live_ = true;
+  while (hits_done_ < static_cast<int>(rmw_hits_.size())) {
+    const RmwHit& h = rmw_hits_[static_cast<size_t>(hits_done_)];
+    RC rc;
+    if (h.run == 1) {
+      rc = UpdateRmwRow(h.row, fn, arg);
+    } else {
+      RmwRepeat rep{fn, arg, h.run};  // scalar path resolves before returning
+      rc = UpdateRmwRow(h.row, repeat_fn, &rep);
+    }
+    if (rc == RC::kSuspended) return rc;
+    if (rc != RC::kOk) {
+      hits_live_ = false;
+      return rc;
+    }
+    hits_done_++;
+  }
+  hits_live_ = false;
+  if (my_idx >= 0) StmtDone(my_idx, RC::kOk, nullptr, nullptr);
+  return RC::kOk;
+}
+
+RC TxnHandle::SubmitPending(LockType type, RmwFn fn, void* arg) {
   const int total = static_cast<int>(pend_.size());
   if (total == 0) return RC::kOk;
   // (shard, key) order: the shard hash scatters adjacent keys, so key
@@ -516,7 +834,44 @@ RC TxnHandle::SubmitPending(LockType type) {
   }
   pend_grants_.clear();
   pend_grants_.resize(static_cast<size_t>(total));
-  int done = 0;
+  batch_type_ = type;
+  batch_next_ = 0;
+  batch_j_ = -1;
+  batch_unfused_ = false;
+  return RunBatch(fn, arg);
+}
+
+RC TxnHandle::RunBatch(RmwFn fn, void* arg) {
+  const int total = static_cast<int>(pend_.size());
+  if (batch_j_ >= 0) {
+    // Resuming after a suspension: entries not yet submitted still carry
+    // the suspended frame's dead arg; swap in the replayed statement's
+    // before any of them can reach a promoting thread. Coalesced entries
+    // keep their stable RmwRepeat home and refresh it in place.
+    if (batch_type_ == LockType::kEX && fn != nullptr) {
+      for (int k = batch_next_; k < total; k++) {
+        PendKey& p = pend_[static_cast<size_t>(k)];
+        if (p.reps > 1) {
+          RmwRepeat* r = static_cast<RmwRepeat*>(p.arg);
+          r->fn = fn;
+          r->arg = arg;
+        } else {
+          p.fn = fn;
+          p.arg = arg;
+          pend_reqs_[static_cast<size_t>(k)].rmw_fn = fn;
+          pend_reqs_[static_cast<size_t>(k)].rmw_arg = arg;
+        }
+      }
+    }
+    int j = batch_j_;
+    batch_j_ = -1;
+    RC rc = FinishBatchWait(j, fn, arg);
+    if (rc != RC::kOk) {
+      batch_live_ = false;
+      return rc;
+    }
+  }
+  int done = batch_next_;
   while (done < total) {
     int m = lm_->SubmitMany(pend_reqs_.data() + done, total - done, txn_,
                             pend_grants_.data() + done);
@@ -529,26 +884,72 @@ RC TxnHandle::SubmitPending(LockType type) {
         AccState st = !g.took_lock
                           ? AccState::kSnapshot
                           : (g.retired ? AccState::kRetired : AccState::kOwner);
-        char* data = type == LockType::kEX ? g.write_data : p.buf;
-        accesses_.push_back({p.row, type, st, data, g.token});
+        char* data = batch_type_ == LockType::kEX ? g.write_data : p.buf;
+        accesses_.push_back({p.row, batch_type_, st, data, g.token});
         NoteAccess(p.row);
       } else if (g.rc == AcqResult::kWait) {
-        accesses_.push_back({p.row, type, AccState::kWaiting,
-                             type == LockType::kEX ? nullptr : p.buf, g.token});
+        accesses_.push_back({p.row, batch_type_, AccState::kWaiting,
+                             batch_type_ == LockType::kEX ? nullptr : p.buf,
+                             g.token});
         NoteAccess(p.row);
-        uint64_t waited = WaitForLock(p.row);
-        if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
-        AccessGrant rg =
-            lm_->Resume(pend_reqs_[static_cast<size_t>(j)], txn_, g.token);
-        if (rg.rc != AcqResult::kGranted) return FailAttempt();
-        accesses_.back().state =
-            rg.retired ? AccState::kRetired : AccState::kOwner;
-        if (type == LockType::kEX) accesses_.back().data = rg.write_data;
+        bool suspendable = batch_type_ == LockType::kSH || p.fn == nullptr;
+        batch_unfused_ = false;
+        if (CanSuspend() && !suspendable &&
+            lm_->UnfuseWaiter(p.row, g.token)) {
+          // Fused EX waiter: strip the fn so no promoter can apply an arg
+          // from a frame that dies at the suspension; the RMW lands in
+          // FinishBatchWait instead. An unfuse lost to a racing grant
+          // resumes inline below with the (still live) fused arg applied.
+          batch_unfused_ = true;
+          suspendable = true;
+        }
+        if (CanSuspend() && suspendable) {
+          batch_next_ = j + 1;
+          batch_j_ = j;
+          if (ArmSuspension(SuspKind::kStatement)) {
+            batch_live_ = true;
+            return RC::kSuspended;
+          }
+          batch_j_ = -1;
+        }
+        RC rc = FinishBatchWait(j, fn, arg);
+        if (rc != RC::kOk) {
+          batch_live_ = false;
+          return rc;
+        }
       } else {
+        batch_live_ = false;
         return FailGrant(g);
       }
     }
     done += m;
+  }
+  batch_live_ = false;
+  return RC::kOk;
+}
+
+RC TxnHandle::FinishBatchWait(int j, RmwFn fn, void* arg) {
+  const PendKey& p = pend_[static_cast<size_t>(j)];
+  Access* a = FindAccess(p.row);  // pushed when the wait was enqueued
+  uint64_t waited = WaitForLock(p.row);
+  if (txn_->stats != nullptr) txn_->stats->lock_wait_ns += waited;
+  AccessRequest req = pend_reqs_[static_cast<size_t>(j)];
+  if (batch_unfused_) {
+    req.rmw_fn = nullptr;
+    req.rmw_arg = nullptr;
+  }
+  AccessGrant g = lm_->Resume(req, txn_, a->token);
+  if (g.rc != AcqResult::kGranted) return FailAttempt();
+  a->state = g.retired ? AccState::kRetired : AccState::kOwner;
+  if (batch_type_ == LockType::kEX) {
+    a->data = g.write_data;
+    if (batch_unfused_ && fn != nullptr) {
+      for (int r = 0; r < p.reps; r++) fn(a->data, arg);
+      if (p.retire_now && a->state == AccState::kOwner &&
+          lm_->Retire(p.row, a->token, /*tail_write=*/false)) {
+        a->state = AccState::kRetired;
+      }
+    }
   }
   return RC::kOk;
 }
@@ -583,6 +984,14 @@ bool TxnHandle::TailWrite() const {
 }
 
 void TxnHandle::WriteDone() {
+  if (ContMode()) {
+    int my_idx = stmt_idx_++;
+    if (my_idx < stmts_done_) return;
+    // Retire never blocks, so the statement completes unconditionally;
+    // memoizing up front keeps a replay from retiring an *earlier* write
+    // (the loop below skips already-retired entries).
+    StmtDone(my_idx, RC::kOk, nullptr, nullptr);
+  }
   if (cfg_.protocol != Protocol::kBamboo) return;  // strict 2PL: hold to end
   if (txn_->IsAborted()) return;
   for (auto it = accesses_.rbegin(); it != accesses_.rend(); ++it) {
@@ -614,6 +1023,11 @@ void TxnHandle::Rollback() {
 
 RC TxnHandle::Commit(RC user_rc) {
   MaybeReset();
+  // A suspended statement funnels through here unchanged: workloads report
+  // any non-kOk statement result via Commit(kOk), and a suspended attempt
+  // must neither commit nor roll back -- the armed continuation is the only
+  // path that resolves it (drivers Wound a suspended txn, never Rollback).
+  if (susp_kind_ == SuspKind::kStatement) return RC::kSuspended;
   if (cfg_.protocol == Protocol::kSilo) return SiloCommit_(user_rc);
 
   if (user_rc == RC::kUserAbort && !txn_->IsAborted()) {
@@ -633,7 +1047,11 @@ RC TxnHandle::Commit(RC user_rc) {
     Rollback();
     return RC::kAbort;
   }
-  if (cfg_.mode == ExecMode::kInteractive) SimulateRtt(cfg_.interactive_rtt_us);
+  int my_idx = -1;
+  if (ContMode()) my_idx = stmt_idx_++;
+  if (cfg_.mode == ExecMode::kInteractive && PayRtt(my_idx)) {
+    SimulateRtt(cfg_.interactive_rtt_us);
+  }
 
   TxnStatus expected = TxnStatus::kRunning;
   if (!txn_->status.compare_exchange_strong(expected, TxnStatus::kCommitting,
@@ -674,6 +1092,23 @@ RC TxnHandle::Commit(RC user_rc) {
     // Blocking mode (raw handles, or the runner's slot cap): yield first,
     // commit waits are short; futex-sleep as the fallback.
     uint64_t t0 = NowNs();
+    if (CanSuspend()) {
+      // Brief spin for the common short drain, then park the continuation
+      // instead of the thread; whoever drains the semaphore (or wounds us)
+      // fires it and the driver finishes via ResumeSuspended -> CommitTail.
+      for (int i = 0; i < 256 && !drained(); i++) std::this_thread::yield();
+      if (!drained() && ArmSuspension(SuspKind::kCommit)) {
+        return RC::kSuspended;
+      }
+      if (txn_->stats != nullptr) {
+        txn_->stats->commit_wait_ns += NowNs() - t0;
+      }
+      if (txn_->IsAborted()) {
+        Rollback();
+        return RC::kAbort;
+      }
+      return CommitTail();
+    }
     for (int i = 0; i < 4096 && !drained(); i++) std::this_thread::yield();
 #ifdef BAMBOO_DEBUG_STUCK
     while (!drained()) {
@@ -693,8 +1128,11 @@ RC TxnHandle::Commit(RC user_rc) {
 #endif
     if (txn_->stats != nullptr) txn_->stats->commit_wait_ns += NowNs() - t0;
   }
+  return CommitTail();
+}
 
-  expected = TxnStatus::kCommitting;
+RC TxnHandle::CommitTail() {
+  TxnStatus expected = TxnStatus::kCommitting;
   if (!txn_->status.compare_exchange_strong(expected, TxnStatus::kCommitted,
                                             std::memory_order_acq_rel)) {
     Rollback();
@@ -728,7 +1166,8 @@ void TxnHandle::LogCommitRecords() {
   wal_writes_.clear();
   for (const Access& a : accesses_) {
     if (a.type != LockType::kEX || a.data == nullptr ||
-        a.state == AccState::kSnapshot || a.state == AccState::kWaiting) {
+        a.state == AccState::kSnapshot || a.state == AccState::kWaiting ||
+        a.state == AccState::kWaitingUpgrade) {
       continue;
     }
     wal_writes_.push_back({a.row->wal_table_id(), a.row->wal_key(), a.data,

@@ -1,0 +1,97 @@
+#include "src/net/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bamboo {
+namespace net {
+
+bool ReadFull(int fd, void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    ssize_t r = read(fd, p, n);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const void* buf, size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    ssize_t w = send(fd, p, n, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool BlockingClient::Connect(uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return false;
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool BlockingClient::Call(netproto::MsgType type, const uint64_t* keys,
+                          int nkeys, uint64_t arg, netproto::Status* status,
+                          std::vector<char>* rows, uint32_t* row_size) {
+  if (fd_ < 0) return false;
+  std::vector<char> tx;
+  netproto::AppendRequest(&tx, type, keys, nkeys, arg);
+  if (!WriteFull(fd_, tx.data(), tx.size())) return false;
+
+  // Prefix first (crc + size), then the announced remainder.
+  rx_.resize(8);
+  if (!ReadFull(fd_, rx_.data(), 8)) return false;
+  uint32_t size;
+  std::memcpy(&size, rx_.data() + 4, 4);
+  if (size < netproto::kHeaderBytes - 8 || size > netproto::kMaxFrame) {
+    return false;
+  }
+  rx_.resize(8 + size);
+  if (!ReadFull(fd_, rx_.data() + 8, size)) return false;
+
+  netproto::Frame f;
+  int64_t consumed = netproto::Decode(rx_.data(), rx_.size(), 0, &f);
+  if (consumed <= 0 || f.type != netproto::MsgType::kResp) return false;
+  *status = static_cast<netproto::Status>(f.status);
+  if (row_size != nullptr) *row_size = f.aux;
+  if (rows != nullptr) {
+    rows->assign(f.payload, f.payload + f.payload_size);
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace bamboo

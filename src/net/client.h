@@ -1,0 +1,60 @@
+#ifndef BAMBOO_SRC_NET_CLIENT_H_
+#define BAMBOO_SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/proto.h"
+
+namespace bamboo {
+namespace net {
+
+/// Read exactly `n` bytes / write exactly `n` bytes on a blocking socket.
+/// Return false on EOF or error. Exposed for tests that speak the protocol
+/// by hand (torn frames, garbage injection).
+bool ReadFull(int fd, void* buf, size_t n);
+bool WriteFull(int fd, const void* buf, size_t n);
+
+/// Synchronous protocol client: one request frame out, one response frame
+/// back. Used by the loopback tests; the load generator (bench_net) runs
+/// its own nonblocking mux instead.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { Close(); }
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  bool Connect(uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Send one request and block for the response. Returns false on a
+  /// transport failure (server closed the connection -- e.g. it judged the
+  /// request malformed). On success `*status` holds the response verdict
+  /// and `*rows` the concatenated row images (row_size * nrows bytes).
+  bool Call(netproto::MsgType type, const uint64_t* keys, int nkeys,
+            uint64_t arg, netproto::Status* status,
+            std::vector<char>* rows = nullptr, uint32_t* row_size = nullptr);
+
+  // Conveniences for the common verbs.
+  bool Begin(netproto::Status* st) {
+    return Call(netproto::MsgType::kBegin, nullptr, 0, 0, st);
+  }
+  bool Commit(netproto::Status* st) {
+    return Call(netproto::MsgType::kCommit, nullptr, 0, 0, st);
+  }
+  bool Abort(netproto::Status* st) {
+    return Call(netproto::MsgType::kAbort, nullptr, 0, 0, st);
+  }
+
+ private:
+  int fd_ = -1;
+  std::vector<char> rx_;
+};
+
+}  // namespace net
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_NET_CLIENT_H_

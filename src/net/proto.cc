@@ -1,0 +1,133 @@
+#include "src/net/proto.h"
+
+#include <cstring>
+
+#include "src/db/wal.h"
+
+namespace bamboo {
+namespace netproto {
+
+namespace {
+
+void PutU16(std::vector<char>* out, uint16_t v) {
+  out->insert(out->end(), reinterpret_cast<const char*>(&v),
+              reinterpret_cast<const char*>(&v) + sizeof(v));
+}
+void PutU32(std::vector<char>* out, uint32_t v) {
+  out->insert(out->end(), reinterpret_cast<const char*>(&v),
+              reinterpret_cast<const char*>(&v) + sizeof(v));
+}
+void PutU64(std::vector<char>* out, uint64_t v) {
+  out->insert(out->end(), reinterpret_cast<const char*>(&v),
+              reinterpret_cast<const char*>(&v) + sizeof(v));
+}
+uint16_t GetU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void Append(std::vector<char>* out, const Frame& f) {
+  size_t start = out->size();
+  PutU32(out, 0);  // crc placeholder
+  PutU32(out, 0);  // size placeholder
+  out->push_back(static_cast<char>(f.type));
+  out->push_back(static_cast<char>(f.status));
+  PutU16(out, f.nkeys);
+  PutU32(out, f.aux);
+  PutU64(out, f.arg);
+  if (f.payload_size != 0) {
+    out->insert(out->end(), f.payload, f.payload + f.payload_size);
+  }
+  uint32_t size = static_cast<uint32_t>(out->size() - start - 8);
+  std::memcpy(out->data() + start + 4, &size, 4);
+  // CRC covers everything after the crc field, size included.
+  uint32_t crc = walfmt::Crc32(out->data() + start + 4,
+                               out->size() - start - 4);
+  std::memcpy(out->data() + start, &crc, 4);
+}
+
+void AppendRequest(std::vector<char>* out, MsgType type, const uint64_t* keys,
+                   int nkeys, uint64_t arg) {
+  Frame f;
+  f.type = type;
+  f.nkeys = static_cast<uint16_t>(nkeys);
+  f.arg = arg;
+  f.payload = reinterpret_cast<const char*>(keys);
+  f.payload_size = static_cast<uint32_t>(nkeys) * 8u;
+  Append(out, f);
+}
+
+void AppendResponse(std::vector<char>* out, Status status, const char* rows,
+                    int nrows, uint32_t row_size) {
+  Frame f;
+  f.type = MsgType::kResp;
+  f.status = static_cast<uint8_t>(status);
+  f.nkeys = static_cast<uint16_t>(nrows);
+  f.aux = row_size;
+  f.payload = rows;
+  f.payload_size = static_cast<uint32_t>(nrows) * row_size;
+  Append(out, f);
+}
+
+int64_t Decode(const char* buf, size_t n, size_t off, Frame* out) {
+  if (off + 8 > n) return 0;  // prefix not buffered yet
+  uint32_t crc = GetU32(buf + off);
+  uint32_t size = GetU32(buf + off + 4);
+  // Size sanity before trusting it as a read length: a garbage prefix must
+  // not make the caller buffer gigabytes waiting for a frame that never
+  // completes. The minimum is the fixed fields after the prefix.
+  constexpr uint32_t kMinSize =
+      static_cast<uint32_t>(kHeaderBytes) - 8;
+  if (size < kMinSize || size > kMaxFrame) return -1;
+  if (off + 8 + size > n) return 0;  // torn: wait for the rest
+  if (walfmt::Crc32(buf + off + 4, 4 + size) != crc) return -1;
+  const char* p = buf + off + 8;
+  uint8_t type = static_cast<uint8_t>(p[0]);
+  if (type < static_cast<uint8_t>(MsgType::kBegin) ||
+      type > static_cast<uint8_t>(MsgType::kResp)) {
+    return -1;
+  }
+  out->type = static_cast<MsgType>(type);
+  out->status = static_cast<uint8_t>(p[1]);
+  out->nkeys = GetU16(p + 2);
+  out->aux = GetU32(p + 4);
+  out->arg = GetU64(p + 8);
+  out->payload_size = size - kMinSize;
+  out->payload = out->payload_size != 0 ? p + 16 : nullptr;
+  // Cross-field validation: a request's payload must hold exactly its
+  // keys; a response's exactly its row images. Anything else is garbage
+  // that happened to carry a valid checksum.
+  if (out->type == MsgType::kResp) {
+    if (out->payload_size !=
+        static_cast<uint32_t>(out->nkeys) * out->aux) {
+      return -1;
+    }
+  } else {
+    if (out->nkeys > kMaxKeys ||
+        out->payload_size != static_cast<uint32_t>(out->nkeys) * 8u ||
+        out->aux != 0) {
+      return -1;
+    }
+  }
+  return static_cast<int64_t>(8 + size);
+}
+
+uint64_t PayloadKey(const Frame& f, int i) {
+  return GetU64(f.payload + static_cast<size_t>(i) * 8);
+}
+
+}  // namespace netproto
+}  // namespace bamboo

@@ -1,0 +1,92 @@
+#ifndef BAMBOO_SRC_NET_PROTO_H_
+#define BAMBOO_SRC_NET_PROTO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bamboo {
+
+/// Wire format for the interactive front-end, exposed so tests can
+/// exercise the codec directly (mirrors walfmt's shape and contract).
+///
+/// A frame is length-prefixed and checksummed:
+///
+///   u32 crc     CRC-32C over every byte after this field
+///   u32 size    total frame bytes counted from the type field
+///   u8  type    MsgType
+///   u8  status  request: 0; response: Status
+///   u16 nkeys   request: key count; response: row count
+///   u32 aux     request: 0 (reserved); response: row image size
+///   u64 arg     request: RMW operand; response: 0
+///   u8  payload[]  request: u64 keys[nkeys] (little-endian);
+///                  response: nkeys * aux bytes of row images
+///
+/// One request frame maps to one batch-API call on the server (one frame =
+/// one round trip, however many keys it carries). The decoder returns
+/// bytes-consumed / 0 (short buffer: wait for more) / -1 (corrupt: the
+/// connection is unrecoverable), exactly like walfmt::Decode.
+namespace netproto {
+
+enum class MsgType : uint8_t {
+  kBegin = 1,      ///< start a transaction on this connection
+  kRead = 2,       ///< single-key read (1 key, 1 row back)
+  kReadMany = 3,   ///< multi-key read (nkeys rows back)
+  kUpdateRmw = 4,  ///< fused add-`arg` RMW over every key
+  kCommit = 5,     ///< commit; response carries the final verdict
+  kAbort = 6,      ///< user abort; always rolls back
+  kResp = 7,       ///< server -> client
+};
+
+enum class Status : uint8_t {
+  kOk = 0,
+  kAborted = 1,       ///< protocol abort: roll back and retry
+  kUserAbort = 2,     ///< the requested abort went through
+  kReadOnly = 3,      ///< WAL degraded: writes are rejected
+  kProtoError = 4,    ///< malformed request; server closes the connection
+};
+
+/// Frames at most this many keys; a request announcing more is malformed.
+constexpr int kMaxKeys = 64;
+/// crc + size + type + status + nkeys + aux + arg.
+constexpr size_t kHeaderBytes = 4 + 4 + 1 + 1 + 2 + 4 + 8;
+/// Hard frame bound (header + the largest legal payload is far below it);
+/// anything larger is rejected as garbage before buffering.
+constexpr size_t kMaxFrame = 1 << 16;
+
+struct Frame {
+  MsgType type = MsgType::kBegin;
+  uint8_t status = 0;
+  uint16_t nkeys = 0;
+  uint32_t aux = 0;
+  uint64_t arg = 0;
+  const char* payload = nullptr;  ///< points into the decode buffer
+  uint32_t payload_size = 0;
+};
+
+/// Serialize `f` onto `out` (appends; computes size and crc).
+void Append(std::vector<char>* out, const Frame& f);
+
+/// Convenience: append a request frame carrying `keys[0..nkeys)`.
+void AppendRequest(std::vector<char>* out, MsgType type, const uint64_t* keys,
+                   int nkeys, uint64_t arg);
+
+/// Convenience: append a response frame carrying `nrows` images of
+/// `row_size` bytes each, concatenated in `rows` (null when nrows == 0).
+void AppendResponse(std::vector<char>* out, Status status, const char* rows,
+                    int nrows, uint32_t row_size);
+
+/// Decode the frame starting at `buf + off` (buffer holds `n` bytes).
+/// Returns the bytes consumed; 0 when the tail is too short for the frame
+/// it announces (keep reading); -1 when the checksum, the announced size,
+/// or the type rejects it (close the connection). `out->payload` points
+/// into `buf`.
+int64_t Decode(const char* buf, size_t n, size_t off, Frame* out);
+
+/// Read key `i` from a validated request frame's payload.
+uint64_t PayloadKey(const Frame& f, int i);
+
+}  // namespace netproto
+}  // namespace bamboo
+
+#endif  // BAMBOO_SRC_NET_PROTO_H_

@@ -1,0 +1,232 @@
+// Wire-protocol codec coverage: request/response round-trips (including
+// back-to-back frames and payload key extraction), torn-tail handling,
+// checksum rejection, cross-field validation (key caps, reserved fields,
+// size/payload agreement), and a seeded fuzz pass mirroring
+// recovery_fuzz_test's refuse-or-consistent contract: a mutated or garbage
+// byte stream must never decode into a frame the validator would have
+// rejected, and must never crash.
+#include "src/net/proto.h"
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace bamboo {
+namespace {
+
+using netproto::Decode;
+using netproto::Frame;
+using netproto::MsgType;
+using netproto::Status;
+
+void TestRequestRoundTrip() {
+  std::vector<char> buf;
+  uint64_t keys[3] = {7, 0xffffffffffffffffull, 42};
+  netproto::AppendRequest(&buf, MsgType::kUpdateRmw, keys, 3, 99);
+
+  Frame f;
+  int64_t used = Decode(buf.data(), buf.size(), 0, &f);
+  CHECK_EQ(used, static_cast<int64_t>(buf.size()));
+  CHECK(f.type == MsgType::kUpdateRmw);
+  CHECK_EQ(f.status, 0);
+  CHECK_EQ(f.nkeys, 3);
+  CHECK_EQ(f.aux, 0u);
+  CHECK_EQ(f.arg, 99ull);
+  CHECK_EQ(f.payload_size, 24u);
+  CHECK_EQ(netproto::PayloadKey(f, 0), 7ull);
+  CHECK_EQ(netproto::PayloadKey(f, 1), 0xffffffffffffffffull);
+  CHECK_EQ(netproto::PayloadKey(f, 2), 42ull);
+}
+
+void TestResponseRoundTrip() {
+  std::vector<char> buf;
+  char rows[16];
+  for (int i = 0; i < 16; i++) rows[i] = static_cast<char>(i * 3);
+  netproto::AppendResponse(&buf, Status::kOk, rows, 2, 8);
+
+  Frame f;
+  int64_t used = Decode(buf.data(), buf.size(), 0, &f);
+  CHECK_EQ(used, static_cast<int64_t>(buf.size()));
+  CHECK(f.type == MsgType::kResp);
+  CHECK_EQ(f.status, static_cast<uint8_t>(Status::kOk));
+  CHECK_EQ(f.nkeys, 2);
+  CHECK_EQ(f.aux, 8u);
+  CHECK_EQ(f.payload_size, 16u);
+  CHECK(std::memcmp(f.payload, rows, 16) == 0);
+
+  // Empty response (BEGIN ack): no payload at all.
+  std::vector<char> buf2;
+  netproto::AppendResponse(&buf2, Status::kAborted, nullptr, 0, 0);
+  Frame f2;
+  CHECK_EQ(Decode(buf2.data(), buf2.size(), 0, &f2),
+           static_cast<int64_t>(buf2.size()));
+  CHECK(f2.type == MsgType::kResp);
+  CHECK_EQ(f2.status, static_cast<uint8_t>(Status::kAborted));
+  CHECK_EQ(f2.nkeys, 0);
+  CHECK_EQ(f2.payload_size, 0u);
+}
+
+void TestBackToBackFrames() {
+  std::vector<char> buf;
+  uint64_t k = 5;
+  netproto::AppendRequest(&buf, MsgType::kBegin, nullptr, 0, 0);
+  size_t first = buf.size();
+  netproto::AppendRequest(&buf, MsgType::kRead, &k, 1, 0);
+
+  Frame f;
+  int64_t u1 = Decode(buf.data(), buf.size(), 0, &f);
+  CHECK_EQ(u1, static_cast<int64_t>(first));
+  CHECK(f.type == MsgType::kBegin);
+  int64_t u2 = Decode(buf.data(), buf.size(), static_cast<size_t>(u1), &f);
+  CHECK_EQ(static_cast<size_t>(u1 + u2), buf.size());
+  CHECK(f.type == MsgType::kRead);
+  CHECK_EQ(netproto::PayloadKey(f, 0), 5ull);
+}
+
+void TestTornTail() {
+  std::vector<char> buf;
+  uint64_t keys[4] = {1, 2, 3, 4};
+  netproto::AppendRequest(&buf, MsgType::kReadMany, keys, 4, 0);
+  Frame f;
+  // Every strict prefix is torn (0), never corrupt (-1): the connection
+  // just keeps reading.
+  for (size_t n = 0; n < buf.size(); n++) {
+    CHECK_EQ(Decode(buf.data(), n, 0, &f), 0);
+  }
+  CHECK_EQ(Decode(buf.data(), buf.size(), 0, &f),
+           static_cast<int64_t>(buf.size()));
+}
+
+void TestChecksumRejection() {
+  std::vector<char> buf;
+  uint64_t k = 9;
+  netproto::AppendRequest(&buf, MsgType::kUpdateRmw, &k, 1, 3);
+  Frame f;
+  CHECK(Decode(buf.data(), buf.size(), 0, &f) > 0);
+  buf[buf.size() - 3] ^= 0x10;  // flip a payload bit
+  CHECK_EQ(Decode(buf.data(), buf.size(), 0, &f), -1);
+}
+
+void TestCrossFieldValidation() {
+  // Hand-build frames through the struct API so individual fields can lie.
+  auto encode = [](const Frame& f) {
+    std::vector<char> buf;
+    netproto::Append(&buf, f);
+    return buf;
+  };
+  Frame f;
+  Frame out;
+
+  // Request with nkeys over the cap: rejected even with a valid crc.
+  f.type = MsgType::kReadMany;
+  f.nkeys = netproto::kMaxKeys + 1;
+  std::vector<char> payload(static_cast<size_t>(f.nkeys) * 8, 0);
+  f.payload = payload.data();
+  f.payload_size = static_cast<uint32_t>(payload.size());
+  std::vector<char> buf = encode(f);
+  CHECK_EQ(Decode(buf.data(), buf.size(), 0, &out), -1);
+
+  // Request whose payload disagrees with nkeys.
+  f = Frame{};
+  f.type = MsgType::kRead;
+  f.nkeys = 2;
+  uint64_t one = 1;
+  f.payload = reinterpret_cast<const char*>(&one);
+  f.payload_size = 8;  // should be 16 for nkeys=2
+  buf = encode(f);
+  CHECK_EQ(Decode(buf.data(), buf.size(), 0, &out), -1);
+
+  // Request with the reserved aux field set.
+  f = Frame{};
+  f.type = MsgType::kBegin;
+  f.aux = 1;
+  buf = encode(f);
+  CHECK_EQ(Decode(buf.data(), buf.size(), 0, &out), -1);
+
+  // Response whose payload is not nkeys * aux bytes.
+  f = Frame{};
+  f.type = MsgType::kResp;
+  f.nkeys = 2;
+  f.aux = 8;
+  char img[8] = {0};
+  f.payload = img;
+  f.payload_size = 8;  // should be 16
+  buf = encode(f);
+  CHECK_EQ(Decode(buf.data(), buf.size(), 0, &out), -1);
+
+  // Type outside the enum range.
+  f = Frame{};
+  f.type = static_cast<MsgType>(200);
+  buf = encode(f);
+  CHECK_EQ(Decode(buf.data(), buf.size(), 0, &out), -1);
+}
+
+/// Seeded fuzz: mutate valid frames (bit flips, truncation, garbage
+/// splices) and feed raw noise. The crc covers every byte after itself, so
+/// any single mutation must yield -1 (corrupt) or 0 (the lie enlarged the
+/// announced size, so the decoder waits for bytes that never come) --
+/// never a successful decode.
+void TestFuzzRejection() {
+  std::mt19937_64 rng(0xbadc0ffeeull);
+  Frame out;
+  for (int iter = 0; iter < 400; iter++) {
+    std::vector<char> buf;
+    int nkeys = static_cast<int>(rng() % 8);
+    uint64_t keys[8];
+    for (int i = 0; i < nkeys; i++) keys[i] = rng();
+    MsgType t = nkeys > 0 ? MsgType::kReadMany : MsgType::kBegin;
+    netproto::AppendRequest(&buf, t, keys, nkeys, rng());
+
+    int mode = static_cast<int>(rng() % 3);
+    if (mode == 0) {
+      // Bit flip anywhere in the frame.
+      size_t pos = rng() % buf.size();
+      buf[pos] ^= static_cast<char>(1u << (rng() % 8));
+      int64_t r = Decode(buf.data(), buf.size(), 0, &out);
+      CHECK(r <= 0);
+    } else if (mode == 1) {
+      // Truncate: always torn, never corrupt.
+      size_t keep = rng() % buf.size();
+      int64_t r = Decode(buf.data(), keep, 0, &out);
+      CHECK_EQ(r, 0);
+    } else {
+      // Replace a run of bytes with garbage.
+      size_t pos = rng() % buf.size();
+      size_t len = 1 + rng() % (buf.size() - pos);
+      for (size_t i = 0; i < len; i++) {
+        buf[pos + i] = static_cast<char>(rng());
+      }
+      int64_t r = Decode(buf.data(), buf.size(), 0, &out);
+      // A garbage splice that happens to rewrite nothing is possible in
+      // principle but has probability ~2^-32 per byte pattern; with this
+      // seed it never occurs, so a positive decode flags a validator hole.
+      CHECK(r <= 0);
+    }
+  }
+
+  // Pure noise streams: must never crash and never decode.
+  for (int iter = 0; iter < 100; iter++) {
+    std::vector<char> noise(16 + rng() % 256);
+    for (char& c : noise) c = static_cast<char>(rng());
+    int64_t r = Decode(noise.data(), noise.size(), 0, &out);
+    CHECK(r <= 0);
+  }
+}
+
+}  // namespace
+}  // namespace bamboo
+
+int main() {
+  using namespace bamboo;
+  RUN_TEST(TestRequestRoundTrip);
+  RUN_TEST(TestResponseRoundTrip);
+  RUN_TEST(TestBackToBackFrames);
+  RUN_TEST(TestTornTail);
+  RUN_TEST(TestChecksumRejection);
+  RUN_TEST(TestCrossFieldValidation);
+  RUN_TEST(TestFuzzRejection);
+  return test::Summary("net_proto_test");
+}
